@@ -1,0 +1,130 @@
+// Validates the Section 2.2 modelling claims behind the LSK table (the
+// paper defers the supporting figures to its technical report [7]):
+//   1. Keff fidelity: at fixed wire length, a net with higher Ki has higher
+//      simulated noise (rank correlation).
+//   2. Noise is roughly a linearly increasing function of wire length.
+//   3. The distance profile and shield attenuation baked into KeffModel
+//      match fresh simulation.
+//   4. The 100-entry 0.10-0.20 V table regenerated from simulation agrees
+//      with the pre-calibrated constants shipped in the library.
+#include <cstdio>
+#include <iostream>
+
+#include "circuit/bus.h"
+#include "ktable/lsk_builder.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+using namespace rlcr;
+
+namespace {
+
+double noise_at_distance(int d, bool shielded, const circuit::Technology& tech) {
+  circuit::BusSpec s;
+  s.tracks.assign(static_cast<std::size_t>(d) + 1, {});
+  s.tracks[0] = {circuit::TrackKind::kSignal, false};
+  s.tracks[static_cast<std::size_t>(d)] = {circuit::TrackKind::kSignal, true};
+  for (int i = 1; i < d; ++i) {
+    s.tracks[static_cast<std::size_t>(i)] = {
+        shielded && i == 1 ? circuit::TrackKind::kShield
+                           : circuit::TrackKind::kSignal,
+        false};
+  }
+  s.victim = 0;
+  s.length_um = 1000.0;
+  return circuit::simulate_victim_noise(s, tech);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== bench_lsk_fidelity: Section 2.2 model validation ==\n\n");
+  const circuit::Technology tech;
+  const ktable::KeffModel keff;
+
+  // ---- 1 & 2: sample single-region solutions, check rank fidelity and
+  // per-length linearity.
+  ktable::LskBuilderOptions opt;
+  opt.samples_per_length = 16;
+  opt.lengths_um = {250.0, 500.0, 1000.0, 1500.0};
+  const ktable::LskTableBuilder builder(opt);
+  const auto samples = builder.sample(keff, tech);
+
+  std::vector<double> lsk_all, noise_all;
+  util::TablePrinter lin("Noise vs wire length (fixed-coupling averages)");
+  lin.set_header({"length (um)", "samples", "mean Ki", "mean noise (V)"});
+  for (double len : opt.lengths_um) {
+    std::vector<double> ki, noise;
+    for (const auto& s : samples) {
+      if (s.length_um == len) {
+        ki.push_back(s.ki);
+        noise.push_back(s.noise_v);
+      }
+      if (s.length_um == len || lsk_all.size() < samples.size()) {
+      }
+    }
+    lin.add_row({util::fmt_double(len, 0), util::fmt_int(static_cast<long long>(ki.size())),
+                 util::fmt_double(util::mean(ki), 2),
+                 util::fmt_double(util::mean(noise), 4)});
+  }
+  for (const auto& s : samples) {
+    lsk_all.push_back(s.lsk);
+    noise_all.push_back(s.noise_v);
+  }
+  lin.print(std::cout);
+
+  const double rho = util::spearman(lsk_all, noise_all);
+  std::printf(
+      "\nFidelity (paper: higher Ki at fixed length => higher SPICE noise):\n"
+      "  Spearman rank correlation of LSK vs simulated noise over %zu\n"
+      "  mixed-length SINO-style samples: %.3f  (claim holds for rho >> 0)\n",
+      samples.size(), rho);
+
+  const util::LinearFit fit = builder.fit(samples);
+  std::printf(
+      "\nLinearity (paper: noise ~ linear in length-scaled coupling):\n"
+      "  noise = %.5f * LSK + %.5f  (r^2 = %.3f within the table band)\n",
+      fit.slope, fit.intercept, fit.r_squared);
+
+  // ---- 3: re-derive the distance profile and shield attenuation.
+  util::TablePrinter prof("Coupling distance profile: simulator vs KeffModel");
+  prof.set_header({"separation", "sim noise (V)", "sim ratio", "Keff profile"});
+  const double base = noise_at_distance(1, false, tech);
+  for (int d : {1, 2, 3, 5, 8}) {
+    const double v = noise_at_distance(d, false, tech);
+    prof.add_row({util::fmt_int(d), util::fmt_double(v, 4),
+                  util::fmt_double(v / base, 3),
+                  util::fmt_double(keff.profile(d), 3)});
+  }
+  std::printf("\n");
+  prof.print(std::cout);
+
+  const double shielded = noise_at_distance(2, true, tech);
+  const double unshielded = noise_at_distance(2, false, tech);
+  std::printf(
+      "\nShield attenuation at separation 2: sim %.3f vs model %.3f\n",
+      shielded / unshielded, keff.params().shield_attenuation);
+
+  // ---- 4: regenerate the table, compare with the shipped default.
+  // Compared in the voltage domain at mid-band LSK values: near the noise
+  // floor the budget inverse is ill-conditioned (both tables' budgets go to
+  // zero), so relative budget deviations there are meaningless.
+  const ktable::LskTable fresh = builder.build(keff, tech);
+  const ktable::LskTable shipped = ktable::LskTable::default_table();
+  double worst_v = 0.0;
+  for (double lsk = 0.8; lsk <= 3.0; lsk += 0.2) {
+    worst_v = std::max(worst_v,
+                       std::abs(fresh.voltage(lsk) - shipped.voltage(lsk)));
+  }
+  const double budget_fresh = fresh.lsk_budget(0.15);
+  const double budget_shipped = shipped.lsk_budget(0.15);
+  std::printf(
+      "\nTable regeneration: fresh 100-entry table vs shipped constants —\n"
+      "  worst predicted-noise deviation over LSK in [0.8, 3.0]: %.1f mV\n"
+      "  LSK budget at the 0.15 V bound: fresh %.2f vs shipped %.2f\n"
+      "  (residual drift reflects sampling noise in the 64-run calibration;\n"
+      "   the flows are self-consistent because budgeting and violation\n"
+      "   checking use the same table)\n",
+      1000.0 * worst_v, budget_fresh, budget_shipped);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Google-benchmark microbenchmarks of the library's hot paths. The paper's
+// Section 5 notes that ID-based global routing dominates GSINO's runtime;
+// these benchmarks quantify the cost structure of every major kernel.
+#include <benchmark/benchmark.h>
+
+#include "circuit/bus.h"
+#include "grid/region_grid.h"
+#include "ktable/lsk_table.h"
+#include "netlist/sensitivity.h"
+#include "netlist/synthetic.h"
+#include "router/id_router.h"
+#include "rsmt/rmst.h"
+#include "rsmt/steiner.h"
+#include "sino/anneal.h"
+#include "sino/greedy.h"
+#include "util/rng.h"
+
+using namespace rlcr;
+
+namespace {
+
+std::vector<geom::Point> random_pins(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<geom::Point> pins;
+  for (std::size_t i = 0; i < n; ++i) {
+    pins.push_back(geom::Point{static_cast<std::int32_t>(rng.below(64)),
+                               static_cast<std::int32_t>(rng.below(64))});
+  }
+  return pins;
+}
+
+sino::SinoInstance random_instance(std::size_t n, double rate,
+                                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<sino::SinoNet> nets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nets[i] = sino::SinoNet{static_cast<int>(i), rate, 1.5};
+  }
+  sino::SinoInstance inst(std::move(nets));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(rate)) inst.set_sensitive(i, j);
+  return inst;
+}
+
+void BM_RmstByDegree(benchmark::State& state) {
+  const auto pins = random_pins(static_cast<std::size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsmt::rmst_length(pins));
+  }
+}
+BENCHMARK(BM_RmstByDegree)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_SteinerByDegree(benchmark::State& state) {
+  const auto pins = random_pins(static_cast<std::size_t>(state.range(0)), 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsmt::rsmt_length(pins));
+  }
+}
+BENCHMARK(BM_SteinerByDegree)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SinoGreedy(benchmark::State& state) {
+  const auto inst =
+      random_instance(static_cast<std::size_t>(state.range(0)), 0.4, 7);
+  const ktable::KeffModel keff;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sino::solve_greedy(inst, keff));
+  }
+}
+BENCHMARK(BM_SinoGreedy)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SinoAnneal(benchmark::State& state) {
+  const auto inst = random_instance(10, 0.4, 7);
+  const ktable::KeffModel keff;
+  sino::AnnealOptions opt;
+  opt.iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sino::solve_anneal(inst, keff, opt));
+  }
+}
+BENCHMARK(BM_SinoAnneal)->Arg(1000)->Arg(4000);
+
+void BM_BusTransient(benchmark::State& state) {
+  circuit::BusSpec spec;
+  spec.tracks.assign(static_cast<std::size_t>(state.range(0)), {});
+  spec.tracks[0] = {circuit::TrackKind::kSignal, false};
+  for (std::size_t i = 1; i < spec.tracks.size(); ++i) {
+    spec.tracks[i] = {circuit::TrackKind::kSignal, true};
+  }
+  spec.victim = 0;
+  spec.length_um = 800.0;
+  const circuit::Technology tech;
+  circuit::TransientOptions opt;
+  opt.dt = 0.5e-12;
+  opt.t_stop = 100e-12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::simulate_victim_noise(spec, tech, opt));
+  }
+}
+BENCHMARK(BM_BusTransient)->Arg(3)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_LskTableLookup(benchmark::State& state) {
+  const ktable::LskTable table = ktable::LskTable::default_table();
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.001;
+    if (x > 3.0) x = 0.0;
+    benchmark::DoNotOptimize(table.voltage(x));
+  }
+}
+BENCHMARK(BM_LskTableLookup);
+
+void BM_SensitivityQuery(benchmark::State& state) {
+  const netlist::SensitivityModel model(30000, 0.3, 5);
+  std::int32_t i = 0;
+  for (auto _ : state) {
+    i = (i + 7919) % 30000;
+    benchmark::DoNotOptimize(model.sensitive(i, (i * 31 + 1) % 30000));
+  }
+}
+BENCHMARK(BM_SensitivityQuery);
+
+void BM_IdRouterTiny(benchmark::State& state) {
+  const auto spec = netlist::tiny_spec(static_cast<std::size_t>(state.range(0)), 3);
+  const auto design = netlist::generate(spec);
+  grid::RegionGridSpec gs;
+  gs.cols = spec.grid_cols;
+  gs.rows = spec.grid_rows;
+  gs.region_w_um = spec.chip_w_um / spec.grid_cols;
+  gs.region_h_um = spec.chip_h_um / spec.grid_rows;
+  gs.h_capacity = spec.h_capacity;
+  gs.v_capacity = spec.v_capacity;
+  const grid::RegionGrid grid_obj(gs);
+  std::vector<router::RouterNet> nets;
+  for (std::size_t n = 0; n < design.net_count(); ++n) {
+    router::RouterNet rn;
+    rn.id = static_cast<std::int32_t>(n);
+    rn.si = 0.3;
+    for (const auto& p : design.net(static_cast<netlist::NetId>(n)).pins) {
+      const geom::Point r = grid_obj.region_of(p.pos);
+      if (std::find(rn.pins.begin(), rn.pins.end(), r) == rn.pins.end()) {
+        rn.pins.push_back(r);
+      }
+    }
+    nets.push_back(std::move(rn));
+  }
+  const sino::NssModel nss;
+  const router::IdRouter router(grid_obj, nss);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(nets));
+  }
+}
+BENCHMARK(BM_IdRouterTiny)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

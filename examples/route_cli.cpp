@@ -1,0 +1,205 @@
+// route_cli: command-line driver for the full flow on synthetic or real
+// ISPD'98 inputs.
+//
+//   # calibrated synthetic stand-in, full GSINO flow
+//   $ ./route_cli --circuit ibm01 --scale 0.25 --rate 0.3 --flow gsino
+//
+//   # genuine ISPD'98 files (placed by the built-in min-cut placer)
+//   $ ./route_cli --net ibm01.net --are ibm01.are \
+//                 --outline 1533x1824 --grid 96x96 --cap 22x20 --flow all
+//
+// Prints the flow summary (violations, wire length, shields, routing area)
+// and optionally dumps per-net noise to CSV (--noise-csv out.csv).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/flow.h"
+#include "netlist/ispd98.h"
+#include "netlist/placement.h"
+#include "util/csv.h"
+
+using namespace rlcr;
+using namespace rlcr::gsino;
+
+namespace {
+
+struct CliOptions {
+  std::string circuit = "ibm01";
+  std::string net_path;
+  std::string are_path;
+  std::string noise_csv;
+  std::string flow = "gsino";  // idno | isino | gsino | all
+  double scale = 0.25;
+  double rate = 0.30;
+  double bound_v = 0.15;
+  std::uint64_t seed = 1;
+  double outline_w = 0.0, outline_h = 0.0;
+  int grid_x = 64, grid_y = 64;
+  int cap_h = 20, cap_v = 18;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --circuit ibm01..ibm06   synthetic stand-in (default ibm01)\n"
+      "  --scale S                density-preserving shrink (default 0.25)\n"
+      "  --net FILE [--are FILE]  route a real ISPD'98 netD circuit instead\n"
+      "  --outline WxH            chip outline in um (required with --net)\n"
+      "  --grid CxR               routing regions (default 64x64)\n"
+      "  --cap HxV                tracks per region (default 20x18)\n"
+      "  --rate R                 sensitivity rate (default 0.30)\n"
+      "  --bound V                crosstalk bound in volts (default 0.15)\n"
+      "  --flow idno|isino|gsino|all (default gsino)\n"
+      "  --seed N                 master seed (default 1)\n"
+      "  --noise-csv FILE         dump per-net LSK/noise\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_pair(const char* s, double& a, double& b) {
+  char* end = nullptr;
+  a = std::strtod(s, &end);
+  if (end == s || (*end != 'x' && *end != 'X')) return false;
+  b = std::strtod(end + 1, nullptr);
+  return a > 0 && b > 0;
+}
+
+void report(const FlowResult& fr, const RoutingProblem& problem) {
+  std::printf(
+      "%-6s | violations %5zu / %zu | avg WL %7.1f um | shields %7.0f | "
+      "area %.0f x %.0f um | route %.1fs sino %.1fs refine %.1fs\n",
+      fr.name.c_str(), fr.violating, problem.net_count(),
+      fr.avg_wirelength_um, fr.total_shields, fr.area.width_um,
+      fr.area.height_um, fr.timing.route_s, fr.timing.sino_s,
+      fr.timing.refine_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--circuit")) {
+      opt.circuit = next();
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      opt.scale = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--net")) {
+      opt.net_path = next();
+    } else if (!std::strcmp(argv[i], "--are")) {
+      opt.are_path = next();
+    } else if (!std::strcmp(argv[i], "--outline")) {
+      if (!parse_pair(next(), opt.outline_w, opt.outline_h)) usage(argv[0]);
+    } else if (!std::strcmp(argv[i], "--grid")) {
+      double a, b;
+      if (!parse_pair(next(), a, b)) usage(argv[0]);
+      opt.grid_x = static_cast<int>(a);
+      opt.grid_y = static_cast<int>(b);
+    } else if (!std::strcmp(argv[i], "--cap")) {
+      double a, b;
+      if (!parse_pair(next(), a, b)) usage(argv[0]);
+      opt.cap_h = static_cast<int>(a);
+      opt.cap_v = static_cast<int>(b);
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      opt.rate = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--bound")) {
+      opt.bound_v = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--flow")) {
+      opt.flow = next();
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--noise-csv")) {
+      opt.noise_csv = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  GsinoParams params;
+  params.sensitivity_rate = opt.rate;
+  params.crosstalk_bound_v = opt.bound_v;
+  params.seed = opt.seed;
+
+  // ---- assemble netlist + grid.
+  netlist::Netlist design;
+  grid::RegionGridSpec gspec;
+  if (!opt.net_path.empty()) {
+    if (opt.outline_w <= 0.0) {
+      std::fprintf(stderr, "--net requires --outline WxH\n");
+      return 2;
+    }
+    std::printf("parsing %s ...\n", opt.net_path.c_str());
+    design = netlist::Ispd98Parser().load(opt.net_path, opt.are_path);
+    design.set_outline(opt.outline_w, opt.outline_h);
+    std::printf("placing %zu cells (min-cut bisection) ...\n",
+                design.cell_count());
+    const netlist::PlacementResult pr = netlist::BisectionPlacer().place(design);
+    std::printf("placement HPWL: %.0f um\n", pr.hpwl_um);
+    gspec.cols = opt.grid_x;
+    gspec.rows = opt.grid_y;
+    gspec.region_w_um = opt.outline_w / opt.grid_x;
+    gspec.region_h_um = opt.outline_h / opt.grid_y;
+    gspec.h_capacity = opt.cap_h;
+    gspec.v_capacity = opt.cap_v;
+  } else {
+    const auto suite = netlist::ibm_suite(opt.scale);
+    int idx = -1;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      if (suite[i].name == opt.circuit) idx = static_cast<int>(i);
+    }
+    if (idx < 0) {
+      std::fprintf(stderr, "unknown circuit '%s'\n", opt.circuit.c_str());
+      return 2;
+    }
+    const netlist::SyntheticSpec& spec = suite[static_cast<std::size_t>(idx)];
+    design = netlist::generate(spec);
+    gspec.cols = spec.grid_cols;
+    gspec.rows = spec.grid_rows;
+    gspec.region_w_um = spec.chip_w_um / spec.grid_cols;
+    gspec.region_h_um = spec.chip_h_um / spec.grid_rows;
+    gspec.h_capacity = spec.h_capacity;
+    gspec.v_capacity = spec.v_capacity;
+  }
+  std::printf("design: %zu nets on %d x %d regions, caps %d/%d, rate %.0f%%\n\n",
+              design.net_count(), gspec.cols, gspec.rows, gspec.h_capacity,
+              gspec.v_capacity, opt.rate * 100.0);
+
+  const RoutingProblem problem(design, gspec, params);
+  const FlowRunner flows(problem);
+
+  // ---- run the requested flow(s).
+  std::vector<FlowKind> kinds;
+  if (opt.flow == "idno") {
+    kinds = {FlowKind::kIdNo};
+  } else if (opt.flow == "isino") {
+    kinds = {FlowKind::kIsino};
+  } else if (opt.flow == "gsino") {
+    kinds = {FlowKind::kGsino};
+  } else if (opt.flow == "all") {
+    kinds = {FlowKind::kIdNo, FlowKind::kIsino, FlowKind::kGsino};
+  } else {
+    usage(argv[0]);
+  }
+
+  for (FlowKind kind : kinds) {
+    const FlowResult fr = flows.run(kind);
+    report(fr, problem);
+    if (!opt.noise_csv.empty() && kind == kinds.back()) {
+      util::CsvWriter csv(opt.noise_csv);
+      csv.write_row(std::vector<std::string>{"net", "lsk", "noise_v",
+                                             "kth", "critical_path_um"});
+      for (std::size_t n = 0; n < problem.net_count(); ++n) {
+        csv.write_row(std::vector<double>{static_cast<double>(n),
+                                          fr.net_lsk[n], fr.net_noise[n],
+                                          fr.kth[n], fr.critical_path_um[n]});
+      }
+      std::printf("wrote per-net noise to %s\n", opt.noise_csv.c_str());
+    }
+  }
+  return 0;
+}

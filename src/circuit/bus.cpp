@@ -1,0 +1,124 @@
+#include "circuit/bus.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcr::circuit {
+
+namespace {
+
+struct BuiltBus {
+  Circuit ckt;
+  NodeId victim_probe = kGround;
+};
+
+BuiltBus build(const BusSpec& spec, const Technology& tech) {
+  if (spec.victim < 0 ||
+      static_cast<std::size_t>(spec.victim) >= spec.tracks.size()) {
+    throw std::invalid_argument("bus: victim index out of range");
+  }
+  const BusTrack& vt = spec.tracks[static_cast<std::size_t>(spec.victim)];
+  if (vt.kind != TrackKind::kSignal || vt.aggressor) {
+    throw std::invalid_argument("bus: victim must be a quiet signal track");
+  }
+  if (spec.segments < 1) throw std::invalid_argument("bus: segments must be >= 1");
+  if (spec.length_um <= 0.0) throw std::invalid_argument("bus: length must be > 0");
+
+  const Extractor ex(tech);
+  const auto segs = static_cast<std::size_t>(spec.segments);
+  const double seg_len = spec.length_um / spec.segments;
+  const double r_seg = ex.resistance(seg_len);
+  const double l_seg = ex.self_inductance(seg_len);
+  const double cg_seg = ex.ground_capacitance(seg_len);
+
+  BuiltBus out;
+  Circuit& ckt = out.ckt;
+
+  const std::size_t ntracks = spec.tracks.size();
+  // node[t][k] = k-th ladder node of track t; -1 for empty tracks.
+  std::vector<std::vector<NodeId>> node(ntracks);
+  // seg_ind[t][k] = inductor index for segment k of track t.
+  std::vector<std::vector<std::size_t>> seg_ind(ntracks);
+
+  const double t_start = 5e-12;
+
+  for (std::size_t t = 0; t < ntracks; ++t) {
+    const BusTrack& trk = spec.tracks[t];
+    if (trk.kind == TrackKind::kEmpty) continue;
+
+    node[t].resize(segs + 1);
+    seg_ind[t].resize(segs);
+    for (auto& n : node[t]) n = ckt.new_node();
+
+    // Ladder: per segment a series R then L; ground cap at each new node.
+    for (std::size_t k = 0; k < segs; ++k) {
+      const NodeId mid = ckt.new_node();
+      ckt.add_resistor(node[t][k], mid, r_seg);
+      seg_ind[t][k] = ckt.add_inductor(mid, node[t][k + 1], l_seg);
+      ckt.add_capacitor(node[t][k + 1], kGround, cg_seg);
+    }
+
+    if (trk.kind == TrackKind::kShield) {
+      // Shields tie to the P/G network at both ends through via resistance.
+      const double via_ohms = 0.2;
+      ckt.add_resistor(node[t][0], kGround, via_ohms);
+      ckt.add_resistor(node[t][segs], kGround, via_ohms);
+    } else {
+      // Signal: driver at near end, receiver load at far end.
+      const NodeId drv = ckt.new_node();
+      const Pwl wave = trk.aggressor
+                           ? Pwl::ramp(tech.vdd, t_start, tech.rise_time_s)
+                           : Pwl::flat(0.0);
+      ckt.add_vsource(drv, kGround, wave);
+      ckt.add_resistor(drv, node[t][0], tech.driver_ohms);
+      ckt.add_capacitor(node[t][segs], kGround, tech.load_farads);
+    }
+  }
+
+  // Coupling capacitance: nearest occupied neighbour on each side, per node.
+  for (std::size_t t = 0; t < ntracks; ++t) {
+    if (node[t].empty()) continue;
+    for (std::size_t u = t + 1; u < ntracks; ++u) {
+      if (node[u].empty()) continue;
+      const int sep = static_cast<int>(u - t);
+      const double cc_seg = ex.coupling_capacitance(seg_len, sep);
+      if (cc_seg <= 0.0) break;  // falls off monotonically with distance
+      for (std::size_t k = 1; k <= segs; ++k) {
+        ckt.add_capacitor(node[t][k], node[u][k], cc_seg);
+      }
+      break;  // only the nearest occupied track couples capacitively
+    }
+  }
+
+  // Mutual inductance: all occupied-track pairs, same segment index.
+  for (std::size_t t = 0; t < ntracks; ++t) {
+    if (node[t].empty()) continue;
+    for (std::size_t u = t + 1; u < ntracks; ++u) {
+      if (node[u].empty()) continue;
+      const int sep = static_cast<int>(u - t);
+      const double k_coef = ex.coupling_coefficient(seg_len, sep);
+      if (k_coef <= 0.0) continue;
+      for (std::size_t k = 0; k < segs; ++k) {
+        ckt.add_mutual(seg_ind[t][k], seg_ind[u][k], k_coef);
+      }
+    }
+  }
+
+  out.victim_probe = node[static_cast<std::size_t>(spec.victim)][segs];
+  return out;
+}
+
+}  // namespace
+
+TransientResult simulate_bus(const BusSpec& spec, const Technology& tech,
+                             const TransientOptions& options) {
+  BuiltBus built = build(spec, tech);
+  return simulate(built.ckt, {built.victim_probe}, options);
+}
+
+double simulate_victim_noise(const BusSpec& spec, const Technology& tech,
+                             const TransientOptions& options) {
+  return simulate_bus(spec, tech, options).peak_abs(0);
+}
+
+}  // namespace rlcr::circuit

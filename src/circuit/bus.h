@@ -1,0 +1,49 @@
+// Coupled-bus construction and victim-noise measurement.
+//
+// A "bus" is one routing region's worth of parallel tracks: each track is
+// empty, a shield (grounded at both ends, as the paper's shields connect to
+// the P/G network), or a signal wire with the uniform driver/receiver of
+// Section 2.1. The bus is expanded into a segmented coupled-RLC ladder:
+//   - per-segment series R and partial self-inductance L,
+//   - per-node ground capacitance and nearest-neighbour coupling capacitance,
+//   - partial mutual inductance between ALL pairs of parallel segments
+//     (inductive coupling is long-range; shields participate, which is how
+//     shielding's return-path benefit emerges in simulation rather than
+//     being asserted).
+// Aggressor drivers ramp 0 -> Vdd; the victim driver holds 0; the victim's
+// far-end (receiver) peak |voltage| is the crosstalk noise the LSK table is
+// calibrated against.
+#pragma once
+
+#include <vector>
+
+#include "circuit/extract.h"
+#include "circuit/transient.h"
+
+namespace rlcr::circuit {
+
+enum class TrackKind : std::uint8_t { kEmpty, kShield, kSignal };
+
+struct BusTrack {
+  TrackKind kind = TrackKind::kEmpty;
+  bool aggressor = false;  ///< signals only: drives a rising ramp when true
+};
+
+struct BusSpec {
+  std::vector<BusTrack> tracks;
+  double length_um = 1000.0;
+  int segments = 6;   ///< ladder segments per wire
+  int victim = -1;    ///< index of the (quiet) victim track
+};
+
+/// Build the MNA circuit for a bus and return the victim's receiver-end
+/// peak |noise| in volts. Throws std::invalid_argument on malformed specs
+/// (victim out of range / not a quiet signal).
+double simulate_victim_noise(const BusSpec& spec, const Technology& tech,
+                             const TransientOptions& options = {});
+
+/// Lower-level variant that also returns the waveform for inspection.
+TransientResult simulate_bus(const BusSpec& spec, const Technology& tech,
+                             const TransientOptions& options = {});
+
+}  // namespace rlcr::circuit

@@ -1,0 +1,82 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlcr::circuit {
+
+double Pwl::at(double t) const {
+  if (points.empty()) return 0.0;
+  if (t <= points.front().first) return points.front().second;
+  if (t >= points.back().first) return points.back().second;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (t <= points[i].first) {
+      const auto& [t0, v0] = points[i - 1];
+      const auto& [t1, v1] = points[i];
+      if (t1 == t0) return v1;
+      const double f = (t - t0) / (t1 - t0);
+      return v0 + f * (v1 - v0);
+    }
+  }
+  return points.back().second;
+}
+
+Pwl Pwl::ramp(double v, double t0, double tr) {
+  Pwl p;
+  p.points = {{t0, 0.0}, {t0 + tr, v}};
+  return p;
+}
+
+Pwl Pwl::flat(double v) {
+  Pwl p;
+  p.points = {{0.0, v}};
+  return p;
+}
+
+namespace {
+void check_node(NodeId n, NodeId limit, const char* what) {
+  if (n < 0 || n >= limit) {
+    throw std::invalid_argument(std::string("Circuit: bad node for ") + what);
+  }
+}
+}  // namespace
+
+void Circuit::add_resistor(NodeId n1, NodeId n2, double ohms) {
+  check_node(n1, num_nodes_, "resistor");
+  check_node(n2, num_nodes_, "resistor");
+  if (ohms <= 0.0) throw std::invalid_argument("Circuit: resistance must be > 0");
+  resistors_.push_back(Resistor{n1, n2, ohms});
+}
+
+void Circuit::add_capacitor(NodeId n1, NodeId n2, double farads) {
+  check_node(n1, num_nodes_, "capacitor");
+  check_node(n2, num_nodes_, "capacitor");
+  if (farads < 0.0) throw std::invalid_argument("Circuit: capacitance must be >= 0");
+  if (farads > 0.0) capacitors_.push_back(Capacitor{n1, n2, farads});
+}
+
+std::size_t Circuit::add_inductor(NodeId n1, NodeId n2, double henries) {
+  check_node(n1, num_nodes_, "inductor");
+  check_node(n2, num_nodes_, "inductor");
+  if (henries <= 0.0) throw std::invalid_argument("Circuit: inductance must be > 0");
+  inductors_.push_back(Inductor{n1, n2, henries});
+  return inductors_.size() - 1;
+}
+
+void Circuit::add_mutual(std::size_t l1, std::size_t l2, double k) {
+  if (l1 >= inductors_.size() || l2 >= inductors_.size() || l1 == l2) {
+    throw std::invalid_argument("Circuit: bad inductor indices for mutual");
+  }
+  if (std::abs(k) >= 1.0) {
+    throw std::invalid_argument("Circuit: |k| must be < 1");
+  }
+  if (k != 0.0) mutuals_.push_back(MutualInductance{l1, l2, k});
+}
+
+void Circuit::add_vsource(NodeId n1, NodeId n2, Pwl waveform) {
+  check_node(n1, num_nodes_, "vsource");
+  check_node(n2, num_nodes_, "vsource");
+  vsources_.push_back(VoltageSource{n1, n2, std::move(waveform)});
+}
+
+}  // namespace rlcr::circuit

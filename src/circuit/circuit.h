@@ -1,0 +1,84 @@
+// Circuit netlist representation for the transient simulator.
+//
+// This is the library's SPICE substitute: the LSK noise table (Section 2.2
+// of the paper) is calibrated by simulating coupled RLC interconnect
+// structures. Supported elements are exactly what those structures need:
+// resistors, capacitors, (mutually coupled) inductors, and piecewise-linear
+// voltage sources. Node 0 is ground.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlcr::circuit {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kGround = 0;
+
+/// Piecewise-linear waveform: value is linearly interpolated between
+/// (time, value) breakpoints, held constant outside them.
+struct Pwl {
+  std::vector<std::pair<double, double>> points;  // (seconds, volts), sorted
+
+  double at(double t) const;
+
+  /// 0 -> `v` ramp starting at t0 with rise time tr.
+  static Pwl ramp(double v, double t0, double tr);
+  /// Constant 0 (quiet victim driver input).
+  static Pwl flat(double v = 0.0);
+};
+
+struct Resistor {
+  NodeId n1, n2;
+  double ohms;
+};
+struct Capacitor {
+  NodeId n1, n2;
+  double farads;
+};
+struct Inductor {
+  NodeId n1, n2;
+  double henries;
+};
+/// Mutual inductance between two inductors (by index into the inductor
+/// list), expressed as a coupling coefficient k in (-1, 1).
+struct MutualInductance {
+  std::size_t l1, l2;
+  double k;
+};
+struct VoltageSource {
+  NodeId n1, n2;  // v(n1) - v(n2) = waveform(t)
+  Pwl waveform;
+};
+
+/// Builder for a circuit. Nodes are allocated through `new_node()` (ground
+/// pre-exists as node 0).
+class Circuit {
+ public:
+  NodeId new_node() { return num_nodes_++; }
+  NodeId num_nodes() const { return num_nodes_; }
+
+  void add_resistor(NodeId n1, NodeId n2, double ohms);
+  void add_capacitor(NodeId n1, NodeId n2, double farads);
+  /// Returns the inductor's index for use in add_mutual().
+  std::size_t add_inductor(NodeId n1, NodeId n2, double henries);
+  void add_mutual(std::size_t l1, std::size_t l2, double k);
+  void add_vsource(NodeId n1, NodeId n2, Pwl waveform);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<MutualInductance>& mutuals() const { return mutuals_; }
+  const std::vector<VoltageSource>& vsources() const { return vsources_; }
+
+ private:
+  NodeId num_nodes_ = 1;  // node 0 = ground
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<MutualInductance> mutuals_;
+  std::vector<VoltageSource> vsources_;
+};
+
+}  // namespace rlcr::circuit

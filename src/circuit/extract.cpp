@@ -1,0 +1,67 @@
+#include "circuit/extract.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlcr::circuit {
+
+namespace {
+constexpr double kMu0 = 4.0e-7 * 3.14159265358979323846;  // H/m
+constexpr double kEps0 = 8.8541878128e-12;                // F/m
+constexpr double kUm = 1e-6;
+}  // namespace
+
+double Extractor::resistance(double length_um) const {
+  const double area_m2 =
+      tech_.wire_width_um * kUm * tech_.wire_thickness_um * kUm;
+  return tech_.resistivity_ohm_m * (length_um * kUm) / area_m2;
+}
+
+double Extractor::ground_capacitance(double length_um) const {
+  // Plate term w/h plus an empirical fringe term ~ 1.1 per edge pair
+  // (Sakurai-Tamaru flavoured; absolute accuracy is not required, the LSK
+  // table is calibrated end-to-end against this same extractor).
+  const double plate = tech_.wire_width_um / tech_.dielectric_h_um;
+  const double fringe = 1.1;
+  return tech_.eps_r * kEps0 * (plate + fringe) * (length_um * kUm);
+}
+
+double Extractor::coupling_capacitance(double length_um,
+                                       int track_separation) const {
+  if (track_separation < 1) return 0.0;
+  // Sidewall plate t/s for adjacent tracks; quadratic falloff beyond.
+  const double edge_gap =
+      tech_.wire_space_um +
+      (track_separation - 1) * tech_.pitch_um();
+  const double sidewall = tech_.wire_thickness_um / edge_gap;
+  const double falloff = 1.0 / (track_separation * track_separation);
+  return tech_.eps_r * kEps0 * sidewall * falloff * (length_um * kUm);
+}
+
+double Extractor::self_inductance(double length_um) const {
+  const double l = length_um * kUm;
+  const double wt = (tech_.wire_width_um + tech_.wire_thickness_um) * kUm;
+  const double ln_term = std::log(2.0 * l / wt);
+  return kMu0 / (2.0 * 3.14159265358979323846) * l * (ln_term + 0.5);
+}
+
+double Extractor::mutual_inductance(double length_um, double distance_um) const {
+  const double l = length_um * kUm;
+  const double d = distance_um * kUm;
+  if (d <= 0.0 || l <= 0.0) return 0.0;
+  const double term = std::log(2.0 * l / d) - 1.0 + d / l;
+  return std::max(0.0, kMu0 / (2.0 * 3.14159265358979323846) * l * term);
+}
+
+double Extractor::coupling_coefficient(double length_um,
+                                       int track_separation) const {
+  if (track_separation < 1) return 0.0;
+  const double l_self = self_inductance(length_um);
+  const double m =
+      mutual_inductance(length_um, track_separation * tech_.pitch_um());
+  if (l_self <= 0.0) return 0.0;
+  // Clamp just below 1 for numerical safety in the MNA storage matrix.
+  return std::min(0.999, m / l_self);
+}
+
+}  // namespace rlcr::circuit

@@ -1,0 +1,71 @@
+// Interconnect parasitic extraction for the ITRS 0.10 um technology point
+// assumed by the paper (Vdd = 1.05 V, 3 GHz clock).
+//
+// All wires share one width / spacing / thickness (paper Section 2.1).
+// Resistance comes from the copper sheet model, capacitance from a
+// plate + fringe model with nearest-neighbour coupling, and inductance from
+// the closed-form partial self/mutual inductance of finite parallel bars
+// (Rosa/Grover formulas, the same ones FastHenry reduces to for this
+// geometry). These are the standard back-of-layout formulas used by the
+// pre-routing estimation literature the paper builds on.
+#pragma once
+
+namespace rlcr::circuit {
+
+/// Technology and circuit-environment parameters. Defaults model the
+/// paper's ITRS 0.10 um global-interconnect setup.
+struct Technology {
+  double vdd = 1.05;              ///< supply (V)
+  double clock_hz = 3e9;          ///< clock the paper evaluates at
+  double rise_time_s = 18e-12;    ///< aggressor edge rate (fast global drivers)
+
+  double wire_width_um = 0.50;    ///< drawn width
+  double wire_space_um = 0.50;    ///< edge-to-edge spacing
+  double wire_thickness_um = 1.10;
+  double dielectric_h_um = 0.80;  ///< height above return plane
+  double eps_r = 3.3;             ///< low-k dielectric
+  double resistivity_ohm_m = 2.2e-8;  ///< copper with barriers
+
+  double driver_ohms = 40.0;      ///< uniform driver resistance
+  double load_farads = 30e-15;    ///< uniform receiver load
+
+  double pitch_um() const { return wire_width_um + wire_space_um; }
+};
+
+/// Per-unit-length and per-segment parasitics for the bus geometry above.
+class Extractor {
+ public:
+  explicit Extractor(const Technology& tech) : tech_(tech) {}
+
+  const Technology& tech() const { return tech_; }
+
+  /// Series resistance of a wire segment (ohms).
+  double resistance(double length_um) const;
+
+  /// Capacitance to ground of a wire segment (farads): plate + fringe.
+  double ground_capacitance(double length_um) const;
+
+  /// Coupling capacitance between adjacent wires over a segment (farads).
+  /// Falls off quickly with track separation; beyond the nearest neighbour
+  /// it is negligible and callers may omit it.
+  double coupling_capacitance(double length_um, int track_separation) const;
+
+  /// Partial self-inductance of a wire segment (henries):
+  ///   L = (mu0 / 2pi) l [ ln(2l / (w + t)) + 0.5 ]
+  double self_inductance(double length_um) const;
+
+  /// Partial mutual inductance between parallel segments at centre-to-centre
+  /// distance d (henries):
+  ///   M = (mu0 / 2pi) l [ ln(2l / d) - 1 + d / l ]
+  /// Clamped to be non-negative (the formula crosses zero for d ~ l).
+  double mutual_inductance(double length_um, double distance_um) const;
+
+  /// Coupling coefficient k = M / sqrt(L1 L2) between equal-length parallel
+  /// segments separated by `track_separation` tracks.
+  double coupling_coefficient(double length_um, int track_separation) const;
+
+ private:
+  Technology tech_;
+};
+
+}  // namespace rlcr::circuit

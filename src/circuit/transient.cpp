@@ -1,0 +1,156 @@
+#include "circuit/transient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/matrix.h"
+
+namespace rlcr::circuit {
+
+double TransientResult::peak_abs(std::size_t i) const {
+  double best = 0.0;
+  for (double v : volts[i]) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double TransientResult::peak(std::size_t i) const {
+  double best = 0.0;
+  for (double v : volts[i]) best = std::max(best, v);
+  return best;
+}
+
+TransientResult simulate(const Circuit& ckt, const std::vector<NodeId>& probes,
+                         const TransientOptions& options) {
+  // Unknown layout: x = [v_1 .. v_{N-1}; i_L0 ..; i_V0 ..]. Ground (node 0)
+  // is eliminated: stamps referencing it are dropped.
+  const std::size_t nv = static_cast<std::size_t>(ckt.num_nodes()) - 1;
+  const std::size_t nl = ckt.inductors().size();
+  const std::size_t ns = ckt.vsources().size();
+  const std::size_t dim = nv + nl + ns;
+  if (dim == 0) throw std::invalid_argument("simulate: empty circuit");
+
+  auto vidx = [&](NodeId n) -> std::ptrdiff_t {
+    return n == kGround ? -1 : static_cast<std::ptrdiff_t>(n - 1);
+  };
+
+  util::Matrix g(dim, dim);
+  util::Matrix c(dim, dim);
+
+  // Resistors: conductance stamps.
+  for (const Resistor& r : ckt.resistors()) {
+    const double gg = 1.0 / r.ohms;
+    const auto i = vidx(r.n1);
+    const auto j = vidx(r.n2);
+    if (i >= 0) g(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += gg;
+    if (j >= 0) g(static_cast<std::size_t>(j), static_cast<std::size_t>(j)) += gg;
+    if (i >= 0 && j >= 0) {
+      g(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) -= gg;
+      g(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) -= gg;
+    }
+  }
+  // Capacitors: storage stamps.
+  for (const Capacitor& cap : ckt.capacitors()) {
+    const auto i = vidx(cap.n1);
+    const auto j = vidx(cap.n2);
+    if (i >= 0) c(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += cap.farads;
+    if (j >= 0) c(static_cast<std::size_t>(j), static_cast<std::size_t>(j)) += cap.farads;
+    if (i >= 0 && j >= 0) {
+      c(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) -= cap.farads;
+      c(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) -= cap.farads;
+    }
+  }
+  // Inductors: branch current unknowns. KCL rows get +-1 incidence; the
+  // branch equation row is  v1 - v2 - L i' - sum_k M i_k' = 0.
+  for (std::size_t li = 0; li < nl; ++li) {
+    const Inductor& ind = ckt.inductors()[li];
+    const std::size_t row = nv + li;
+    const auto i = vidx(ind.n1);
+    const auto j = vidx(ind.n2);
+    if (i >= 0) {
+      g(static_cast<std::size_t>(i), row) += 1.0;  // current leaves n1
+      g(row, static_cast<std::size_t>(i)) += 1.0;
+    }
+    if (j >= 0) {
+      g(static_cast<std::size_t>(j), row) -= 1.0;
+      g(row, static_cast<std::size_t>(j)) -= 1.0;
+    }
+    c(row, row) -= ind.henries;
+  }
+  for (const MutualInductance& m : ckt.mutuals()) {
+    const double l1 = ckt.inductors()[m.l1].henries;
+    const double l2 = ckt.inductors()[m.l2].henries;
+    const double mval = m.k * std::sqrt(l1 * l2);
+    c(nv + m.l1, nv + m.l2) -= mval;
+    c(nv + m.l2, nv + m.l1) -= mval;
+  }
+  // Voltage sources: branch current unknowns; branch row  v1 - v2 = V(t).
+  for (std::size_t si = 0; si < ns; ++si) {
+    const VoltageSource& vs = ckt.vsources()[si];
+    const std::size_t row = nv + nl + si;
+    const auto i = vidx(vs.n1);
+    const auto j = vidx(vs.n2);
+    if (i >= 0) {
+      g(static_cast<std::size_t>(i), row) += 1.0;
+      g(row, static_cast<std::size_t>(i)) += 1.0;
+    }
+    if (j >= 0) {
+      g(static_cast<std::size_t>(j), row) -= 1.0;
+      g(row, static_cast<std::size_t>(j)) -= 1.0;
+    }
+  }
+
+  const double h = options.dt;
+  if (h <= 0.0 || options.t_stop <= 0.0) {
+    throw std::invalid_argument("simulate: dt and t_stop must be positive");
+  }
+
+  // Left matrix A = C + h/2 G; right operator R = C - h/2 G.
+  util::Matrix a = c;
+  a.add_scaled(g, h / 2.0);
+  util::Matrix rmat = c;
+  rmat.add_scaled(g, -h / 2.0);
+  const util::LuFactor lu(std::move(a));
+
+  auto rhs_sources = [&](double t, std::vector<double>& b) {
+    std::fill(b.begin(), b.end(), 0.0);
+    for (std::size_t si = 0; si < ns; ++si) {
+      b[nv + nl + si] = ckt.vsources()[si].waveform.at(t);
+    }
+  };
+
+  const auto steps = static_cast<std::size_t>(std::ceil(options.t_stop / h));
+  std::vector<double> x(dim, 0.0);
+  std::vector<double> b0(dim, 0.0), b1(dim, 0.0), rhs(dim, 0.0);
+  rhs_sources(0.0, b0);
+
+  TransientResult out;
+  out.time.reserve(steps + 1);
+  out.volts.assign(probes.size(), {});
+  for (auto& w : out.volts) w.reserve(steps + 1);
+
+  auto record = [&](double t) {
+    out.time.push_back(t);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      const auto i = vidx(probes[p]);
+      out.volts[p].push_back(i < 0 ? 0.0 : x[static_cast<std::size_t>(i)]);
+    }
+  };
+  record(0.0);
+
+  for (std::size_t s = 1; s <= steps; ++s) {
+    const double t = static_cast<double>(s) * h;
+    rhs_sources(t, b1);
+    // rhs = R x + h/2 (b0 + b1)
+    const std::vector<double> rx = rmat * x;
+    for (std::size_t i = 0; i < dim; ++i) {
+      rhs[i] = rx[i] + h / 2.0 * (b0[i] + b1[i]);
+    }
+    lu.solve_in_place(rhs);
+    x = rhs;
+    b0 = b1;
+    record(t);
+  }
+  return out;
+}
+
+}  // namespace rlcr::circuit

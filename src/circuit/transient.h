@@ -1,0 +1,42 @@
+// Modified nodal analysis (MNA) transient simulation with trapezoidal
+// integration — the numerical core of the SPICE substitute.
+//
+// The system is assembled as  C x' + G x = b(t)  over the unknown vector
+// x = [node voltages (1..N-1); inductor currents; source currents].
+// Trapezoidal discretization with fixed step h gives
+//   (C + h/2 G) x_{n+1} = (C - h/2 G) x_n + h/2 (b_n + b_{n+1}),
+// so the left-hand matrix is LU-factored once and back-substituted per step.
+// Trapezoidal integration is A-stable and non-dissipative, which matters
+// here: RLC crosstalk waveforms are underdamped and peak noise must not be
+// artificially damped away.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace rlcr::circuit {
+
+struct TransientOptions {
+  double t_stop = 200e-12;   ///< simulation window (s)
+  double dt = 0.1e-12;       ///< fixed timestep (s)
+};
+
+/// Result of a transient run: sampled waveforms for requested nodes.
+struct TransientResult {
+  std::vector<double> time;                 ///< sample times (s)
+  std::vector<std::vector<double>> volts;   ///< [probe][sample]
+
+  /// Largest |v| over the run for probe `i`.
+  double peak_abs(std::size_t i) const;
+  /// Largest v (signed maximum) over the run for probe `i`.
+  double peak(std::size_t i) const;
+};
+
+/// Run a transient analysis of `ckt`, probing the given nodes.
+/// All states start at zero (quiescent initial condition); sources should
+/// therefore start at zero as well.
+TransientResult simulate(const Circuit& ckt, const std::vector<NodeId>& probes,
+                         const TransientOptions& options = {});
+
+}  // namespace rlcr::circuit

@@ -1,0 +1,15 @@
+#include "core/budget.h"
+
+namespace rlcr::gsino {
+
+std::vector<double> CrosstalkBudgeter::uniform_kth(
+    const RoutingProblem& problem) const {
+  std::vector<double> kth;
+  kth.reserve(problem.net_count());
+  for (double le : problem.le_um()) {
+    kth.push_back(kth_from_length(le));
+  }
+  return kth;
+}
+
+}  // namespace rlcr::gsino

@@ -1,0 +1,41 @@
+// Phase I crosstalk budgeting (Section 3.1).
+//
+// The sink voltage bound is mapped to an LSK budget through the lookup
+// table, then divided among a net's routing regions: the inductive coupling
+// bound of each net segment is Kth = LSK / Le, with Le the source-sink
+// Manhattan distance; a segment shared by several sinks takes the minimum
+// of its sinks' bounds (equivalently, Le is the largest sink distance).
+#pragma once
+
+#include <vector>
+
+#include "core/problem.h"
+
+namespace rlcr::gsino {
+
+class CrosstalkBudgeter {
+ public:
+  CrosstalkBudgeter(const ktable::LskTable& table, double bound_v)
+      : lsk_budget_(table.lsk_budget(bound_v)), bound_v_(bound_v) {}
+
+  /// The total LSK a net may accumulate before its sink noise reaches the
+  /// voltage bound.
+  double lsk_budget() const { return lsk_budget_; }
+  double bound_v() const { return bound_v_; }
+
+  /// Uniform per-segment bound for a net with budgeting length le_um
+  /// (Manhattan estimate): Kth = LSK_budget / Le[mm].
+  double kth_from_length(double le_um) const {
+    return lsk_budget_ / (le_um / 1000.0);
+  }
+
+  /// Per-net uniform bounds for a whole problem (Manhattan-estimated
+  /// lengths, the paper's Phase I rule).
+  std::vector<double> uniform_kth(const RoutingProblem& problem) const;
+
+ private:
+  double lsk_budget_;
+  double bound_v_;
+};
+
+}  // namespace rlcr::gsino

@@ -1,0 +1,64 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/stopwatch.h"
+
+namespace rlcr::gsino {
+
+double scale_from_env(double fallback) {
+  const char* env = std::getenv("RLCROUTE_SCALE");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || v <= 0.0 || v > 1.0) return fallback;
+  return v;
+}
+
+CircuitRun ExperimentRunner::run_one(const netlist::SyntheticSpec& spec,
+                                     double rate, const GsinoParams& params,
+                                     bool run_isino, bool run_gsino) {
+  CircuitRun run;
+  run.circuit = spec.name;
+  run.rate = rate;
+
+  const netlist::Netlist design = netlist::generate(spec);
+  GsinoParams p = params;
+  p.sensitivity_rate = rate;
+  const RoutingProblem problem = make_problem(design, spec, p);
+  run.total_nets = problem.net_count();
+
+  const FlowRunner flows(problem);
+  run.idno = summarize(flows.run(FlowKind::kIdNo), problem);
+  if (run_isino) {
+    run.isino = summarize(flows.run(FlowKind::kIsino), problem);
+    run.has_isino = true;
+  }
+  if (run_gsino) {
+    run.gsino = summarize(flows.run(FlowKind::kGsino), problem);
+    run.has_gsino = true;
+  }
+  return run;
+}
+
+std::vector<CircuitRun> ExperimentRunner::run() const {
+  std::vector<CircuitRun> out;
+  const auto suite = netlist::ibm_suite(options_.scale);
+  for (int ci : options_.circuits) {
+    if (ci < 0 || static_cast<std::size_t>(ci) >= suite.size()) continue;
+    const netlist::SyntheticSpec& spec = suite[static_cast<std::size_t>(ci)];
+    for (double rate : options_.rates) {
+      util::Stopwatch watch;
+      CircuitRun run = run_one(spec, rate, options_.params, options_.run_isino,
+                               options_.run_gsino);
+      if (options_.progress) {
+        options_.progress(spec.name, rate, "all-flows", watch.seconds());
+      }
+      out.push_back(std::move(run));
+    }
+  }
+  return out;
+}
+
+}  // namespace rlcr::gsino

@@ -1,0 +1,54 @@
+// Experiment harness: runs the paper's circuit suite through the three
+// flows and produces the CircuitRun rows the table renderers consume.
+// Shared by the table benches, the ablation bench, and the examples.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "netlist/synthetic.h"
+
+namespace rlcr::gsino {
+
+struct ExperimentOptions {
+  /// Uniform shrink of the published circuit sizes. 1.0 reproduces the
+  /// full-size suite; smaller values give fast smoke runs with the same
+  /// statistical structure.
+  double scale = 1.0;
+  std::vector<double> rates = {0.30, 0.50};
+  /// Indices into netlist::ibm_suite() (0 = ibm01 ... 5 = ibm06).
+  std::vector<int> circuits = {0, 1, 2, 3, 4, 5};
+  bool run_isino = true;
+  bool run_gsino = true;
+  GsinoParams params;
+  /// Progress callback (circuit, rate, flow, seconds); may be empty.
+  std::function<void(const std::string&, double, const std::string&, double)>
+      progress;
+};
+
+/// Honours the RLCROUTE_SCALE environment variable (a double); returns
+/// `fallback` when unset or invalid. Lets the shipped benches run at full
+/// published size by default while CI uses a smaller scale.
+double scale_from_env(double fallback);
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentOptions options)
+      : options_(std::move(options)) {}
+
+  /// One CircuitRun per (circuit, rate).
+  std::vector<CircuitRun> run() const;
+
+  /// Single circuit x rate, returning the full (heavyweight) flow results;
+  /// used by tests and the quickstart example.
+  static CircuitRun run_one(const netlist::SyntheticSpec& spec, double rate,
+                            const GsinoParams& params, bool run_isino = true,
+                            bool run_gsino = true);
+
+ private:
+  ExperimentOptions options_;
+};
+
+}  // namespace rlcr::gsino

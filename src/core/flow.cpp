@@ -1,0 +1,268 @@
+#include "core/flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/paths.h"
+#include "core/refine.h"
+#include "sino/anneal.h"
+#include "sino/greedy.h"
+#include "sino/net_order.h"
+#include "util/stopwatch.h"
+
+namespace rlcr::gsino {
+
+const char* flow_name(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kIdNo:
+      return "ID+NO";
+    case FlowKind::kIsino:
+      return "iSINO";
+    case FlowKind::kGsino:
+      return "GSINO";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Key for the (net, region, dir) -> critical-path-length lookup.
+std::uint64_t path_key(std::size_t net, std::size_t region, grid::Dir dir) {
+  return (static_cast<std::uint64_t>(net) << 33) | (region << 1) |
+         static_cast<std::uint64_t>(dir);
+}
+
+using PathLookup = std::unordered_map<std::uint64_t, double>;  // -> length um
+
+/// Build the SINO instance for one (region, dir) from the occupancy.
+RegionSolution build_region(const RoutingProblem& problem,
+                            const router::Occupancy& occ, std::size_t region,
+                            grid::Dir dir, const std::vector<double>& kth,
+                            const PathLookup& paths) {
+  RegionSolution sol;
+  const auto& segs = occ.segments(region, dir);
+  if (segs.empty()) return sol;
+
+  std::vector<sino::SinoNet> nets;
+  nets.reserve(segs.size());
+  sol.net_index.reserve(segs.size());
+  sol.len_mm.reserve(segs.size());
+  sol.path_len_mm.reserve(segs.size());
+  for (const router::Segment& s : segs) {
+    const auto n = static_cast<std::size_t>(s.net_index);
+    sino::SinoNet sn;
+    sn.net_id = s.net_index;
+    sn.si = problem.router_nets()[n].si;
+    sn.kth = kth[n];
+    nets.push_back(sn);
+    sol.net_index.push_back(n);
+    sol.len_mm.push_back(s.length_um / 1000.0);
+    const auto it = paths.find(path_key(n, region, dir));
+    sol.path_len_mm.push_back(it == paths.end() ? 0.0 : it->second / 1000.0);
+  }
+  sol.instance = sino::SinoInstance(std::move(nets));
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    for (std::size_t j = i + 1; j < sol.net_index.size(); ++j) {
+      if (problem.sensitivity().sensitive(
+              static_cast<netlist::NetId>(sol.net_index[i]),
+              static_cast<netlist::NetId>(sol.net_index[j]))) {
+        sol.instance.set_sensitive(i, j);
+      }
+    }
+  }
+  return sol;
+}
+
+/// Solve one region according to the flow kind; fills slots and ki.
+void solve_region(RegionSolution& sol, const RoutingProblem& problem,
+                  FlowKind kind) {
+  if (sol.empty()) return;
+  const auto& keff = problem.keff();
+  if (kind == FlowKind::kIdNo) {
+    sol.slots = sino::solve_net_order(sol.instance, keff).slots;
+  } else {
+    sol.slots = sino::solve_greedy(sol.instance, keff);
+    if (problem.params().anneal_phase2) {
+      const sino::SinoEvaluator eval(sol.instance, keff);
+      if (!eval.check(sol.slots).feasible()) {
+        sino::AnnealOptions ao;
+        ao.seed = problem.params().seed ^ (sol.net_index.front() * 977u);
+        ao.iterations = problem.params().anneal_iterations;
+        const auto best = sino::solve_anneal(sol.instance, keff, ao);
+        if (best.feasible) sol.slots = best.slots;
+      }
+    }
+  }
+  const sino::SinoEvaluator eval(sol.instance, keff);
+  sol.ki = eval.all_ki(sol.slots);
+}
+
+}  // namespace
+
+void resolve_region(FlowResult& fr, const RoutingProblem& problem,
+                    std::size_t sol_index, bool allow_anneal) {
+  RegionSolution& sol = fr.solutions[sol_index];
+  if (sol.empty()) return;
+  const auto& keff = problem.keff();
+
+  // Remove old LSK contributions (critical-path lengths; Eq. 1 is per sink).
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    if (i < sol.ki.size()) {
+      fr.net_lsk[sol.net_index[i]] -= sol.path_len_mm[i] * sol.ki[i];
+    }
+  }
+
+  sol.slots = sino::solve_greedy(sol.instance, keff);
+  if (allow_anneal) {
+    const sino::SinoEvaluator check_eval(sol.instance, keff);
+    if (!check_eval.check(sol.slots).feasible()) {
+      sino::AnnealOptions ao;
+      ao.seed = problem.params().seed ^ (sol_index * 131071u);
+      ao.iterations = problem.params().anneal_iterations;
+      const auto best = sino::solve_anneal(sol.instance, keff, ao);
+      if (best.feasible) sol.slots = best.slots;
+    }
+  }
+  const sino::SinoEvaluator eval(sol.instance, keff);
+  sol.ki = eval.all_ki(sol.slots);
+
+  // Add new contributions and refresh noise for member nets.
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    fr.net_lsk[sol.net_index[i]] += sol.path_len_mm[i] * sol.ki[i];
+    fr.net_noise[sol.net_index[i]] =
+        problem.lsk_table().voltage(fr.net_lsk[sol.net_index[i]]);
+  }
+
+  // Refresh the region's shield count.
+  const std::size_t region = sol_index / 2;
+  const auto dir = static_cast<grid::Dir>(sol_index % 2);
+  fr.congestion->set_shields(
+      region, dir,
+      static_cast<double>(sino::SinoEvaluator::shield_count(sol.slots)));
+}
+
+double solution_density(const FlowResult& fr, const RoutingProblem& problem,
+                        std::size_t sol_index) {
+  const std::size_t region = sol_index / 2;
+  const auto dir = static_cast<grid::Dir>(sol_index % 2);
+  (void)problem;
+  return fr.congestion->density(region, dir);
+}
+
+void refresh_noise(FlowResult& fr, const RoutingProblem& problem) {
+  const auto& table = problem.lsk_table();
+  fr.violating = 0;
+  for (std::size_t n = 0; n < fr.net_lsk.size(); ++n) {
+    fr.net_noise[n] = table.voltage(fr.net_lsk[n]);
+    if (fr.net_noise[n] > fr.bound_v + 1e-9) ++fr.violating;
+  }
+}
+
+void finalize_metrics(FlowResult& fr, const RoutingProblem& problem) {
+  fr.total_wirelength_um = fr.routing.total_wirelength_um;
+  const std::size_t nets = problem.net_count();
+  fr.avg_wirelength_um =
+      nets == 0 ? 0.0 : fr.total_wirelength_um / static_cast<double>(nets);
+  fr.area = grid::compute_routing_area(*fr.congestion);
+  fr.total_shields = fr.congestion->total_shields();
+  refresh_noise(fr, problem);
+}
+
+FlowResult FlowRunner::run(FlowKind kind) const {
+  const RoutingProblem& p = *problem_;
+  FlowResult fr;
+  fr.kind = kind;
+  fr.name = flow_name(kind);
+  fr.bound_v = p.params().crosstalk_bound_v;
+
+  // ----------------------------------------------------------- Phase I
+  util::Stopwatch watch;
+  router::IdRouterOptions ropt = p.params().router;
+  // The paper's fairness rule: only GSINO reserves shield area in Eq. (2).
+  ropt.reserve_shields = (kind == FlowKind::kGsino);
+  if (kind == FlowKind::kGsino) {
+    // GSINO trades a little wire length for crosstalk headroom (Table 2's
+    // overhead): give its shield-aware weights room to detour around
+    // shield-laden regions.
+    ropt.max_detour_factor = std::max(ropt.max_detour_factor, 1.5);
+  }
+  const router::IdRouter router(p.grid(), p.nss(), ropt);
+  fr.routing = router.route(p.router_nets());
+  fr.timing.route_s = watch.seconds();
+
+  fr.occupancy = std::make_unique<router::Occupancy>(p.grid(), fr.routing.routes);
+  fr.congestion = std::make_unique<grid::CongestionMap>(p.grid());
+  fr.occupancy->fill_segments(*fr.congestion);
+
+  // Critical source->sink paths (the per-sink scope of Eq. 1).
+  const std::vector<CriticalPath> paths =
+      critical_paths(p.grid(), p.router_nets(), fr.routing.routes);
+  PathLookup path_lookup;
+  fr.critical_path_um.assign(p.net_count(), 0.0);
+  for (std::size_t n = 0; n < paths.size(); ++n) {
+    fr.critical_path_um[n] = paths[n].length_um;
+    for (const router::NetRegionRef& ref : paths[n].refs) {
+      path_lookup[path_key(n, ref.region, ref.dir)] = ref.length_um;
+    }
+  }
+
+  // ------------------------------------------------------- budgeting
+  const CrosstalkBudgeter budgeter(p.lsk_table(), fr.bound_v);
+  if (kind == FlowKind::kIsino) {
+    // iSINO runs SINO after routing, so its bounds use the actual routed
+    // critical-path lengths (this is what lets it meet every bound without
+    // refinement — at the cost of the unplanned shield area Table 3 shows).
+    fr.kth.resize(p.net_count());
+    for (std::size_t n = 0; n < p.net_count(); ++n) {
+      const double routed_um =
+          std::max(fr.critical_path_um[n], p.le_um()[n]);
+      fr.kth[n] = budgeter.kth_from_length(routed_um);
+    }
+  } else {
+    // ID+NO (reporting only) and GSINO (Phase I rule): Manhattan estimate,
+    // tightened by the budgeting safety margin for GSINO.
+    fr.kth = budgeter.uniform_kth(p);
+    if (kind == FlowKind::kGsino) {
+      for (double& k : fr.kth) k *= p.params().budget_margin;
+    }
+  }
+
+  // ----------------------------------------------------------- Phase II
+  watch.reset();
+  const std::size_t regions = p.grid().region_count();
+  fr.solutions.resize(regions * 2);
+  fr.net_lsk.assign(p.net_count(), 0.0);
+  fr.net_noise.assign(p.net_count(), 0.0);
+
+  for (std::size_t r = 0; r < regions; ++r) {
+    for (grid::Dir d : grid::kBothDirs) {
+      const std::size_t si = fr.sol_index(r, d);
+      RegionSolution& sol = fr.solutions[si];
+      sol = build_region(p, *fr.occupancy, r, d, fr.kth, path_lookup);
+      if (sol.empty()) continue;
+      solve_region(sol, p, kind);
+      for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+        fr.net_lsk[sol.net_index[i]] += sol.path_len_mm[i] * sol.ki[i];
+      }
+      fr.congestion->set_shields(
+          r, d,
+          static_cast<double>(sino::SinoEvaluator::shield_count(sol.slots)));
+    }
+  }
+  fr.timing.sino_s = watch.seconds();
+  refresh_noise(fr, p);
+
+  // ---------------------------------------------------------- Phase III
+  if (kind == FlowKind::kGsino) {
+    watch.reset();
+    LocalRefiner refiner(p);
+    refiner.refine(fr);
+    fr.timing.refine_s = watch.seconds();
+  }
+
+  finalize_metrics(fr, p);
+  return fr;
+}
+
+}  // namespace rlcr::gsino

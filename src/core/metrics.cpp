@@ -1,0 +1,152 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace rlcr::gsino {
+
+namespace {
+
+std::string area_cell(const FlowSummary& s) {
+  return util::fmt_int(static_cast<long long>(std::llround(s.area_width_um))) +
+         " x " +
+         util::fmt_int(static_cast<long long>(std::llround(s.area_height_um)));
+}
+
+std::string overhead_cell(double value, double base) {
+  if (base <= 0.0) return "-";
+  return "(" + util::fmt_percent(value / base - 1.0) + ")";
+}
+
+/// Runs grouped by circuit, rate-sorted within each group.
+std::map<std::string, std::vector<const CircuitRun*>> by_circuit(
+    const std::vector<CircuitRun>& runs) {
+  std::map<std::string, std::vector<const CircuitRun*>> grouped;
+  for (const CircuitRun& r : runs) grouped[r.circuit].push_back(&r);
+  for (auto& [name, v] : grouped) {
+    std::sort(v.begin(), v.end(),
+              [](const CircuitRun* a, const CircuitRun* b) {
+                return a->rate < b->rate;
+              });
+  }
+  return grouped;
+}
+
+std::string rate_label(double rate) {
+  return "rate=" + util::fmt_percent(rate, 0);
+}
+
+}  // namespace
+
+FlowSummary summarize(const FlowResult& fr, const RoutingProblem& problem) {
+  FlowSummary s;
+  s.name = fr.name;
+  s.total_nets = problem.net_count();
+  s.violating = fr.violating;
+  s.unfixable = fr.unfixable;
+  s.avg_wirelength_um = fr.avg_wirelength_um;
+  s.total_wirelength_um = fr.total_wirelength_um;
+  s.area_width_um = fr.area.width_um;
+  s.area_height_um = fr.area.height_um;
+  s.total_shields = fr.total_shields;
+  s.timing = fr.timing;
+  return s;
+}
+
+util::TablePrinter render_table1(const std::vector<CircuitRun>& runs) {
+  util::TablePrinter t(
+      "Table 1: numbers of crosstalk-violating nets for ID+NO solutions\n"
+      "(percentages are with respect to the total number of signal nets)");
+  const auto grouped = by_circuit(runs);
+
+  std::vector<std::string> header{"circuit"};
+  if (!grouped.empty()) {
+    for (const CircuitRun* r : grouped.begin()->second) {
+      header.push_back(rate_label(r->rate));
+    }
+  }
+  t.set_header(header);
+
+  for (const auto& [name, group] : grouped) {
+    std::vector<std::string> row{name};
+    for (const CircuitRun* r : group) {
+      row.push_back(util::fmt_int(static_cast<long long>(r->idno.violating)) +
+                    " (" + util::fmt_percent(r->idno.violating_fraction()) +
+                    ")");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+util::TablePrinter render_table2(const std::vector<CircuitRun>& runs) {
+  util::TablePrinter t(
+      "Table 2: average wire lengths (um) of ID+NO and GSINO solutions\n"
+      "(percentages are the average increase on wire length vs ID+NO)");
+  const auto grouped = by_circuit(runs);
+
+  std::vector<std::string> header{"circuit"};
+  if (!grouped.empty()) {
+    for (const CircuitRun* r : grouped.begin()->second) {
+      header.push_back("ID+NO " + rate_label(r->rate));
+      header.push_back("GSINO " + rate_label(r->rate));
+    }
+  }
+  t.set_header(header);
+
+  for (const auto& [name, group] : grouped) {
+    std::vector<std::string> row{name};
+    for (const CircuitRun* r : group) {
+      row.push_back(util::fmt_double(r->idno.avg_wirelength_um, 0));
+      if (r->has_gsino) {
+        row.push_back(util::fmt_double(r->gsino.avg_wirelength_um, 0) + " " +
+                      overhead_cell(r->gsino.avg_wirelength_um,
+                                    r->idno.avg_wirelength_um));
+      } else {
+        row.push_back("-");
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+util::TablePrinter render_table3(const std::vector<CircuitRun>& runs) {
+  util::TablePrinter t(
+      "Table 3: routing areas (um x um) of ID+NO, iSINO, and GSINO solutions\n"
+      "(percentages are the increase on routing area vs ID+NO)");
+  t.set_header({"circuit", "rate", "ID+NO", "iSINO", "GSINO"});
+
+  const auto grouped = by_circuit(runs);
+  bool first_block = true;
+  for (double pass_rate : {0.30, 0.50}) {
+    bool emitted = false;
+    for (const auto& [name, group] : grouped) {
+      for (const CircuitRun* r : group) {
+        if (std::abs(r->rate - pass_rate) > 1e-9) continue;
+        if (!emitted && !first_block) t.add_separator();
+        emitted = true;
+        std::vector<std::string> row{name, util::fmt_percent(r->rate, 0),
+                                     area_cell(r->idno)};
+        if (r->has_isino) {
+          row.push_back(area_cell(r->isino) + " " +
+                        overhead_cell(r->isino.area_um2(), r->idno.area_um2()));
+        } else {
+          row.push_back("-");
+        }
+        if (r->has_gsino) {
+          row.push_back(area_cell(r->gsino) + " " +
+                        overhead_cell(r->gsino.area_um2(), r->idno.area_um2()));
+        } else {
+          row.push_back("-");
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    if (emitted) first_block = false;
+  }
+  return t;
+}
+
+}  // namespace rlcr::gsino

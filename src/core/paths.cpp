@@ -1,0 +1,91 @@
+#include "core/paths.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rlcr::gsino {
+
+CriticalPath critical_path(const grid::RegionGrid& grid,
+                           const router::RouterNet& net,
+                           const router::NetRoute& route) {
+  CriticalPath out;
+  if (net.pins.size() < 2 || route.edges.empty()) return out;
+
+  // Tree adjacency over region points.
+  std::unordered_map<geom::Point, std::vector<std::size_t>> adj;  // -> edge ids
+  for (std::size_t e = 0; e < route.edges.size(); ++e) {
+    adj[route.edges[e].a].push_back(e);
+    adj[route.edges[e].b].push_back(e);
+  }
+  const geom::Point src = net.pins.front();
+  if (!adj.count(src)) return out;
+
+  // BFS from the source, accumulating um distance; parent edge per point.
+  std::unordered_map<geom::Point, std::pair<std::size_t, geom::Point>> parent;
+  std::unordered_map<geom::Point, double> dist;
+  std::vector<geom::Point> queue{src};
+  dist[src] = 0.0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const geom::Point v = queue[head];
+    for (std::size_t ei : adj[v]) {
+      const router::GridEdge& e = route.edges[ei];
+      const geom::Point other = (e.a == v) ? e.b : e.a;
+      if (dist.count(other)) continue;
+      dist[other] = dist[v] + grid.span_um(e.dir());
+      parent[other] = {ei, v};
+      queue.push_back(other);
+    }
+  }
+
+  // Critical sink: the reachable sink with the largest path distance.
+  geom::Point best_sink = src;
+  double best_dist = -1.0;
+  for (std::size_t p = 1; p < net.pins.size(); ++p) {
+    const auto it = dist.find(net.pins[p]);
+    if (it != dist.end() && it->second > best_dist) {
+      best_dist = it->second;
+      best_sink = net.pins[p];
+    }
+  }
+  if (best_dist <= 0.0) return out;
+  out.length_um = best_dist;
+
+  // Walk back to the source collecting incident-edge counts per
+  // (region, dir), then convert to half-span lengths exactly like the
+  // occupancy does for whole trees.
+  std::unordered_map<std::uint64_t, int> incident;
+  geom::Point v = best_sink;
+  while (!(v == src)) {
+    const auto& [ei, up] = parent.at(v);
+    const router::GridEdge& e = route.edges[ei];
+    const auto d = static_cast<std::uint64_t>(e.dir());
+    incident[grid.index(e.a) * 2 + d] += 1;
+    incident[grid.index(e.b) * 2 + d] += 1;
+    v = up;
+  }
+  out.refs.reserve(incident.size());
+  for (const auto& [key, count] : incident) {
+    const std::size_t region = key / 2;
+    const auto d = static_cast<grid::Dir>(key % 2);
+    out.refs.push_back(router::NetRegionRef{
+        region, d, 0.5 * grid.span_um(d) * count});
+  }
+  std::sort(out.refs.begin(), out.refs.end(),
+            [](const router::NetRegionRef& a, const router::NetRegionRef& b) {
+              if (a.region != b.region) return a.region < b.region;
+              return static_cast<int>(a.dir) < static_cast<int>(b.dir);
+            });
+  return out;
+}
+
+std::vector<CriticalPath> critical_paths(
+    const grid::RegionGrid& grid, const std::vector<router::RouterNet>& nets,
+    const std::vector<router::NetRoute>& routes) {
+  std::vector<CriticalPath> out(nets.size());
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    out[n] = critical_path(grid, nets[n], routes[n]);
+  }
+  return out;
+}
+
+}  // namespace rlcr::gsino

@@ -1,0 +1,56 @@
+#include "core/problem.h"
+
+#include <algorithm>
+
+namespace rlcr::gsino {
+
+RoutingProblem::RoutingProblem(const netlist::Netlist& design,
+                               const grid::RegionGridSpec& gspec,
+                               const GsinoParams& params)
+    : params_(params),
+      grid_(gspec),
+      sens_(design.net_count(), params.sensitivity_rate, params.seed),
+      keff_(params.keff, params.tech),
+      table_(ktable::LskTable::default_table()),
+      nss_() {
+  rnets_.reserve(design.net_count());
+  le_um_.reserve(design.net_count());
+  const double pitch =
+      std::min(grid_.region_w_um(), grid_.region_h_um());
+
+  for (std::size_t n = 0; n < design.net_count(); ++n) {
+    const netlist::Net& net = design.net(static_cast<netlist::NetId>(n));
+    router::RouterNet rn;
+    rn.id = static_cast<std::int32_t>(n);
+    rn.si = sens_.si(static_cast<netlist::NetId>(n));
+
+    double le = 0.0;
+    if (!net.pins.empty()) {
+      const geom::PointF src = net.pins.front().pos;
+      for (const netlist::Pin& p : net.pins) {
+        const geom::Point region = grid_.region_of(p.pos);
+        if (std::find(rn.pins.begin(), rn.pins.end(), region) == rn.pins.end()) {
+          rn.pins.push_back(region);
+        }
+        le = std::max(le, geom::manhattan(src, p.pos));
+      }
+    }
+    le_um_.push_back(std::max(le, pitch));
+    rnets_.push_back(std::move(rn));
+  }
+}
+
+RoutingProblem make_problem(const netlist::Netlist& design,
+                            const netlist::SyntheticSpec& spec,
+                            const GsinoParams& params) {
+  grid::RegionGridSpec g;
+  g.cols = spec.grid_cols;
+  g.rows = spec.grid_rows;
+  g.region_w_um = spec.chip_w_um / spec.grid_cols;
+  g.region_h_um = spec.chip_h_um / spec.grid_rows;
+  g.h_capacity = spec.h_capacity;
+  g.v_capacity = spec.v_capacity;
+  return RoutingProblem(design, g, params);
+}
+
+}  // namespace rlcr::gsino

@@ -1,0 +1,59 @@
+// Problem assembly: bundles a placed netlist with the routing fabric,
+// sensitivity model, Keff/LSK models, and flow parameters into the single
+// object the flows consume.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/params.h"
+#include "grid/region_grid.h"
+#include "ktable/lsk_table.h"
+#include "netlist/netlist.h"
+#include "netlist/sensitivity.h"
+#include "netlist/synthetic.h"
+#include "router/route_types.h"
+#include "sino/nss.h"
+
+namespace rlcr::gsino {
+
+class RoutingProblem {
+ public:
+  RoutingProblem(const netlist::Netlist& design, const grid::RegionGridSpec& gspec,
+                 const GsinoParams& params);
+
+  const GsinoParams& params() const { return params_; }
+  const grid::RegionGrid& grid() const { return grid_; }
+  const netlist::SensitivityModel& sensitivity() const { return sens_; }
+  const ktable::KeffModel& keff() const { return keff_; }
+  const ktable::LskTable& lsk_table() const { return table_; }
+  const sino::NssModel& nss() const { return nss_; }
+
+  /// Router-facing nets, parallel to the design's net list.
+  const std::vector<router::RouterNet>& router_nets() const { return rnets_; }
+
+  /// Per-net budgeting length Le (um): the largest source-to-sink Manhattan
+  /// distance (the "min over sinks on common paths" rule of Section 3.1
+  /// applied net-wide). Floored at one region pitch.
+  const std::vector<double>& le_um() const { return le_um_; }
+
+  std::size_t net_count() const { return rnets_.size(); }
+
+ private:
+  GsinoParams params_;
+  grid::RegionGrid grid_;
+  netlist::SensitivityModel sens_;
+  ktable::KeffModel keff_;
+  ktable::LskTable table_;
+  sino::NssModel nss_;
+  std::vector<router::RouterNet> rnets_;
+  std::vector<double> le_um_;
+};
+
+/// Convenience: build the grid spec and problem straight from a synthetic
+/// benchmark spec (grid shape / capacities come with the spec).
+RoutingProblem make_problem(const netlist::Netlist& design,
+                            const netlist::SyntheticSpec& spec,
+                            const GsinoParams& params);
+
+}  // namespace rlcr::gsino

@@ -1,0 +1,215 @@
+#include "core/refine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "sino/evaluator.h"
+
+namespace rlcr::gsino {
+
+namespace {
+
+/// Instance-net position of a global net inside a region solution, or -1.
+std::ptrdiff_t find_member(const RegionSolution& sol, std::size_t net) {
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    if (sol.net_index[i] == net) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+RefineStats LocalRefiner::refine(FlowResult& fr) const {
+  RefineStats stats;
+  eliminate_violations(fr, stats);
+  reduce_congestion(fr, stats);
+  refresh_noise(fr, *problem_);
+  return stats;
+}
+
+void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) const {
+  const RoutingProblem& p = *problem_;
+  const auto& params = p.params();
+  std::unordered_set<std::size_t> gave_up;
+
+  for (int outer = 0; outer < params.lr_max_outer_pass1; ++outer) {
+    // Net with the most severe violation.
+    std::size_t worst = 0;
+    double worst_noise = fr.bound_v + 1e-9;
+    bool found = false;
+    for (std::size_t n = 0; n < fr.net_noise.size(); ++n) {
+      if (gave_up.count(n)) continue;
+      if (fr.net_noise[n] > worst_noise) {
+        worst_noise = fr.net_noise[n];
+        worst = n;
+        found = true;
+      }
+    }
+    if (!found) break;
+
+    const double lsk_budget = p.lsk_table().lsk_budget(fr.bound_v);
+    bool fixed = false;
+    for (int inner = 0; inner < params.lr_max_inner_pass1; ++inner) {
+      // Least congested (region, dir) the net crosses where it still has
+      // coupling worth removing.
+      const auto& refs = fr.occupancy->net_refs(worst);
+      double best_density = std::numeric_limits<double>::infinity();
+      std::size_t best_sol = 0;
+      std::size_t best_member = 0;
+      double best_len = 0.0;
+      bool have = false;
+      for (const router::NetRegionRef& ref : refs) {
+        const std::size_t si = fr.sol_index(ref.region, ref.dir);
+        const RegionSolution& cand = fr.solutions[si];
+        if (cand.empty()) continue;
+        const std::ptrdiff_t m = find_member(cand, worst);
+        if (m < 0) continue;
+        const auto cmi = static_cast<std::size_t>(m);
+        // Skip regions off the net's critical path, with negligible
+        // contribution, or whose bound has bottomed out.
+        const double contribution = cand.path_len_mm[cmi] * cand.ki[cmi];
+        if (contribution < 1e-6 || cand.instance.net(cmi).kth <= 2e-6) continue;
+        const double dens = solution_density(fr, p, si);
+        if (dens < best_density) {
+          best_density = dens;
+          best_sol = si;
+          best_member = cmi;
+          best_len = cand.path_len_mm[cmi];
+          have = true;
+        }
+      }
+      if (!have) break;
+
+      RegionSolution& sol = fr.solutions[best_sol];
+      const auto mi = best_member;
+
+      // Tighten the bound so the re-solve must add shielding (Fig. 2:
+      // "decrease Kth ... by allowing one more shield"). The target removes
+      // the whole remaining excess from this region when it can, otherwise
+      // drives this region's contribution to (almost) nothing and the next
+      // iteration moves on to another region.
+      const double excess = fr.net_lsk[worst] - lsk_budget;
+      const double contribution = sol.path_len_mm[mi] * sol.ki[mi];
+      const double target_contribution = contribution - 1.1 * excess;
+      sino::SinoNet& snet = sol.instance.net(mi);
+      const double targeted =
+          best_len > 0.0 ? target_contribution / best_len : 0.0;
+      snet.kth = std::clamp(std::min(targeted, snet.kth * params.lr_kth_shrink),
+                            1e-6, snet.kth);
+
+      resolve_region(fr, p, best_sol, /*allow_anneal=*/true);
+      ++stats.pass1_resolves;
+
+      if (fr.net_noise[worst] <= fr.bound_v + 1e-9) {
+        fixed = true;
+        break;
+      }
+    }
+
+    if (fixed) {
+      ++stats.pass1_nets_fixed;
+    } else {
+      gave_up.insert(worst);
+      ++stats.pass1_gave_up;
+    }
+  }
+  fr.unfixable = gave_up.size();
+  refresh_noise(fr, p);
+}
+
+void LocalRefiner::reduce_congestion(FlowResult& fr, RefineStats& stats) const {
+  const RoutingProblem& p = *problem_;
+  const auto& params = p.params();
+  const double lsk_budget = p.lsk_table().lsk_budget(fr.bound_v);
+  std::unordered_set<std::size_t> done;
+
+  for (int outer = 0; outer < params.lr_max_outer_pass2; ++outer) {
+    // Most congested solution with at least one shield.
+    double worst_density = 0.0;
+    std::size_t pick = 0;
+    bool found = false;
+    for (std::size_t si = 0; si < fr.solutions.size(); ++si) {
+      if (done.count(si) || fr.solutions[si].empty()) continue;
+      if (fr.congestion->shields(si / 2, static_cast<grid::Dir>(si % 2)) < 1.0) {
+        continue;
+      }
+      const double dens = solution_density(fr, p, si);
+      if (dens > worst_density) {
+        worst_density = dens;
+        pick = si;
+        found = true;
+      }
+    }
+    if (!found) break;
+
+    RegionSolution& sol = fr.solutions[pick];
+
+    // Snapshot for revert.
+    const RegionSolution backup = sol;
+    std::vector<double> lsk_backup, noise_backup;
+    lsk_backup.reserve(sol.net_index.size());
+    noise_backup.reserve(sol.net_index.size());
+    for (std::size_t n : sol.net_index) {
+      lsk_backup.push_back(fr.net_lsk[n]);
+      noise_backup.push_back(fr.net_noise[n]);
+    }
+    const double shields_before =
+        fr.congestion->shields(pick / 2, static_cast<grid::Dir>(pick % 2));
+
+    // Loosen Kth of each member net by (most of) its noise-slack converted
+    // to a per-mm coupling allowance (Fig. 2 pass 2 inner loop). A net
+    // whose critical path does not run through this region tolerates any
+    // coupling here; give it generous headroom.
+    for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+      const std::size_t n = sol.net_index[i];
+      sino::SinoNet& snet = sol.instance.net(i);
+      const double ki_now = i < sol.ki.size() ? sol.ki[i] : 0.0;
+      if (sol.path_len_mm[i] <= 0.0) {
+        snet.kth = std::max(snet.kth, 3.0 * (ki_now + 1.0));
+        continue;
+      }
+      const double slack_lsk = lsk_budget - fr.net_lsk[n];
+      if (slack_lsk <= 0.0) continue;
+      const double dk = 0.9 * slack_lsk / sol.path_len_mm[i];
+      snet.kth = std::max(snet.kth, ki_now + dk);
+    }
+
+    resolve_region(fr, p, pick, /*allow_anneal=*/false);
+
+    const double shields_after =
+        fr.congestion->shields(pick / 2, static_cast<grid::Dir>(pick % 2));
+    bool ok = shields_after < shields_before;
+    if (ok) {
+      for (std::size_t n : sol.net_index) {
+        if (fr.net_noise[n] > fr.bound_v + 1e-9) {
+          ok = false;
+          break;
+        }
+      }
+    }
+
+    if (ok) {
+      stats.pass2_shields_removed +=
+          static_cast<int>(shields_before - shields_after);
+      ++stats.pass2_accepted;
+      // Stay eligible: more slack may be harvestable here. Termination is
+      // still guaranteed because every acceptance removes at least one
+      // shield and the total shield count is finite.
+    } else {
+      // Revert.
+      sol = backup;
+      for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+        fr.net_lsk[sol.net_index[i]] = lsk_backup[i];
+        fr.net_noise[sol.net_index[i]] = noise_backup[i];
+      }
+      fr.congestion->set_shields(pick / 2, static_cast<grid::Dir>(pick % 2),
+                                 shields_before);
+      ++stats.pass2_rejected;
+      done.insert(pick);
+    }
+  }
+}
+
+}  // namespace rlcr::gsino

@@ -1,0 +1,44 @@
+// Phase III: two-pass iterative local refinement (the paper's Fig. 2).
+//
+// Pass 1 (eliminate crosstalk violations): Phase I budgeted with Manhattan
+// distances, so detoured nets can exceed their noise bound. For the net
+// with the worst violation, tighten its Kth in the least congested region
+// it crosses (letting that region absorb one more shield) and re-run SINO
+// there; repeat until the net meets its bound, then move to the next
+// violating net.
+//
+// Pass 2 (reduce routing congestion): in the most congested region, give
+// nets with slack (noise headroom) looser Kth in proportion to that slack
+// and re-run SINO; accept the new solution only if it removes at least one
+// shield and causes no new violations.
+#pragma once
+
+#include "core/flow.h"
+
+namespace rlcr::gsino {
+
+struct RefineStats {
+  int pass1_nets_fixed = 0;
+  int pass1_resolves = 0;
+  int pass1_gave_up = 0;
+  int pass2_shields_removed = 0;
+  int pass2_accepted = 0;
+  int pass2_rejected = 0;
+};
+
+class LocalRefiner {
+ public:
+  explicit LocalRefiner(const RoutingProblem& problem) : problem_(&problem) {}
+
+  /// Run pass 1 then pass 2 on a flow state produced by Phase II.
+  RefineStats refine(FlowResult& fr) const;
+
+  /// Individual passes (exposed for tests and the ablation bench).
+  void eliminate_violations(FlowResult& fr, RefineStats& stats) const;
+  void reduce_congestion(FlowResult& fr, RefineStats& stats) const;
+
+ private:
+  const RoutingProblem* problem_;
+};
+
+}  // namespace rlcr::gsino

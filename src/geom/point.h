@@ -1,0 +1,55 @@
+// Integer grid points (routing-region coordinates) and continuous points
+// (placement coordinates in micrometres), with Manhattan metrics.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+
+namespace rlcr::geom {
+
+/// A point on the routing-region grid: x = column, y = row.
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// A continuous point in micrometres (placement / pin coordinates).
+struct PointF {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const PointF&, const PointF&) = default;
+};
+
+/// Manhattan (L1) distance between grid points, in grid units.
+constexpr std::int64_t manhattan(const Point& a, const Point& b) {
+  const std::int64_t dx = std::int64_t{a.x} - b.x;
+  const std::int64_t dy = std::int64_t{a.y} - b.y;
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+/// Manhattan (L1) distance between continuous points, in micrometres.
+inline double manhattan(const PointF& a, const PointF& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace rlcr::geom
+
+template <>
+struct std::hash<rlcr::geom::Point> {
+  std::size_t operator()(const rlcr::geom::Point& p) const noexcept {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+        static_cast<std::uint32_t>(p.y);
+    // SplitMix64-style scramble.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,85 @@
+// Axis-aligned rectangles over grid and continuous coordinates, including
+// bounding-box accumulation (net bounding boxes drive connection-graph
+// construction and half-perimeter wire length).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace rlcr::geom {
+
+/// Inclusive integer rectangle on the region grid: [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  Point lo{0, 0};
+  Point hi{-1, -1};  // default: empty (hi < lo)
+
+  constexpr bool empty() const { return hi.x < lo.x || hi.y < lo.y; }
+  constexpr std::int64_t width() const {
+    return empty() ? 0 : std::int64_t{hi.x} - lo.x + 1;
+  }
+  constexpr std::int64_t height() const {
+    return empty() ? 0 : std::int64_t{hi.y} - lo.y + 1;
+  }
+  constexpr std::int64_t cell_count() const { return width() * height(); }
+
+  constexpr bool contains(const Point& p) const {
+    return !empty() && p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Grow to include p.
+  constexpr void expand(const Point& p) {
+    if (empty()) {
+      lo = hi = p;
+      return;
+    }
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grow by `margin` cells on each side, clamped to [0, limit-1] per axis.
+  constexpr Rect inflated(std::int32_t margin, std::int32_t limit_x,
+                          std::int32_t limit_y) const {
+    Rect r = *this;
+    if (r.empty()) return r;
+    r.lo.x = std::max(0, r.lo.x - margin);
+    r.lo.y = std::max(0, r.lo.y - margin);
+    r.hi.x = std::min(limit_x - 1, r.hi.x + margin);
+    r.hi.y = std::min(limit_y - 1, r.hi.y + margin);
+    return r;
+  }
+
+  /// Half-perimeter in grid units (0 for empty or single-cell boxes).
+  constexpr std::int64_t half_perimeter() const {
+    return empty() ? 0 : (width() - 1) + (height() - 1);
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Continuous rectangle in micrometres.
+struct RectF {
+  double lo_x = std::numeric_limits<double>::infinity();
+  double lo_y = std::numeric_limits<double>::infinity();
+  double hi_x = -std::numeric_limits<double>::infinity();
+  double hi_y = -std::numeric_limits<double>::infinity();
+
+  bool empty() const { return hi_x < lo_x || hi_y < lo_y; }
+  double width() const { return empty() ? 0.0 : hi_x - lo_x; }
+  double height() const { return empty() ? 0.0 : hi_y - lo_y; }
+
+  void expand(const PointF& p) {
+    lo_x = std::min(lo_x, p.x);
+    lo_y = std::min(lo_y, p.y);
+    hi_x = std::max(hi_x, p.x);
+    hi_y = std::max(hi_y, p.y);
+  }
+
+  /// Half-perimeter wire length in micrometres.
+  double half_perimeter() const { return empty() ? 0.0 : width() + height(); }
+};
+
+}  // namespace rlcr::geom

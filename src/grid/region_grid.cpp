@@ -1,0 +1,28 @@
+#include "grid/region_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcr::grid {
+
+RegionGrid::RegionGrid(const RegionGridSpec& spec) : spec_(spec) {
+  if (spec.cols < 1 || spec.rows < 1) {
+    throw std::invalid_argument("RegionGrid: grid must be at least 1x1");
+  }
+  if (spec.region_w_um <= 0.0 || spec.region_h_um <= 0.0) {
+    throw std::invalid_argument("RegionGrid: region dimensions must be positive");
+  }
+  if (spec.h_capacity < 1 || spec.v_capacity < 1) {
+    throw std::invalid_argument("RegionGrid: capacities must be at least 1");
+  }
+}
+
+geom::Point RegionGrid::region_of(geom::PointF p) const {
+  const auto cx = static_cast<std::int32_t>(std::floor(p.x / spec_.region_w_um));
+  const auto cy = static_cast<std::int32_t>(std::floor(p.y / spec_.region_h_um));
+  return geom::Point{std::clamp(cx, 0, spec_.cols - 1),
+                     std::clamp(cy, 0, spec_.rows - 1)};
+}
+
+}  // namespace rlcr::grid

@@ -1,0 +1,78 @@
+// The routing fabric of Section 2.1: two over-the-cell routing layers (one
+// horizontal, one vertical) divided by pre-routed P/G wires into a grid of
+// routing regions. Each region offers HC horizontal and VC vertical tracks;
+// a track holds either a net segment or a shield. P/G wires are assumed wide
+// enough that regions are crosstalk-isolated from each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rlcr::grid {
+
+/// Routing direction. Horizontal tracks run in x and stack in y; vertical
+/// tracks run in y and stack in x.
+enum class Dir : std::uint8_t { kHorizontal = 0, kVertical = 1 };
+
+inline constexpr Dir kBothDirs[] = {Dir::kHorizontal, Dir::kVertical};
+
+struct RegionGridSpec {
+  std::int32_t cols = 1;
+  std::int32_t rows = 1;
+  double region_w_um = 100.0;
+  double region_h_um = 100.0;
+  int h_capacity = 16;  ///< horizontal tracks per region
+  int v_capacity = 16;  ///< vertical tracks per region
+};
+
+/// Immutable grid geometry and capacities. Regions are addressed either by
+/// (col, row) grid points or by a flat index (row-major).
+class RegionGrid {
+ public:
+  explicit RegionGrid(const RegionGridSpec& spec);
+
+  std::int32_t cols() const { return spec_.cols; }
+  std::int32_t rows() const { return spec_.rows; }
+  std::size_t region_count() const {
+    return static_cast<std::size_t>(spec_.cols) * static_cast<std::size_t>(spec_.rows);
+  }
+  double region_w_um() const { return spec_.region_w_um; }
+  double region_h_um() const { return spec_.region_h_um; }
+  double chip_w_um() const { return spec_.region_w_um * spec_.cols; }
+  double chip_h_um() const { return spec_.region_h_um * spec_.rows; }
+
+  bool in_bounds(geom::Point p) const {
+    return p.x >= 0 && p.x < spec_.cols && p.y >= 0 && p.y < spec_.rows;
+  }
+
+  std::size_t index(geom::Point p) const {
+    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(spec_.cols) +
+           static_cast<std::size_t>(p.x);
+  }
+  geom::Point at(std::size_t idx) const {
+    return geom::Point{static_cast<std::int32_t>(idx % static_cast<std::size_t>(spec_.cols)),
+                       static_cast<std::int32_t>(idx / static_cast<std::size_t>(spec_.cols))};
+  }
+
+  /// Region containing a micrometre coordinate, clamped to the grid.
+  geom::Point region_of(geom::PointF p) const;
+
+  int capacity(Dir d) const {
+    return d == Dir::kHorizontal ? spec_.h_capacity : spec_.v_capacity;
+  }
+
+  /// Length of a track segment crossing the region in direction d, in um.
+  double span_um(Dir d) const {
+    return d == Dir::kHorizontal ? spec_.region_w_um : spec_.region_h_um;
+  }
+
+  const RegionGridSpec& spec() const { return spec_; }
+
+ private:
+  RegionGridSpec spec_;
+};
+
+}  // namespace rlcr::grid

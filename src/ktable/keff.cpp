@@ -1,0 +1,40 @@
+#include "ktable/keff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlcr::ktable {
+
+KeffModel::KeffModel(const KeffParams& params, const circuit::Technology& tech)
+    : params_(params) {
+  (void)tech;  // see header: the profile is simulation-calibrated
+  const int maxsep = std::max(1, params_.max_separation);
+  profile_.assign(static_cast<std::size_t>(maxsep) + 1, 0.0);
+  for (int d = 1; d <= maxsep; ++d) {
+    profile_[static_cast<std::size_t>(d)] =
+        params_.scale * std::pow(static_cast<double>(d), -params_.decay_exponent);
+  }
+}
+
+double KeffModel::profile(int separation) const {
+  if (separation <= 0) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      std::min(separation, params_.max_separation));
+  return profile_[idx];
+}
+
+double KeffModel::pair_coupling(const SlotVec& slots, std::size_t i,
+                                std::size_t j) const {
+  if (i == j || i >= slots.size() || j >= slots.size()) return 0.0;
+  if (slots[i] < 0 || slots[j] < 0) return 0.0;
+  const std::size_t lo = std::min(i, j);
+  const std::size_t hi = std::max(i, j);
+  int shields_between = 0;
+  for (std::size_t k = lo + 1; k < hi; ++k) {
+    if (slots[k] == kShieldSlot) ++shields_between;
+  }
+  const double base = profile(static_cast<int>(hi - lo));
+  return base * std::pow(params_.shield_attenuation, shields_between);
+}
+
+}  // namespace rlcr::ktable

@@ -1,0 +1,92 @@
+// Keff model: formula-based inductive-coupling estimation between signal
+// nets sharing a routing region (after [4]'s Keff model, Section 2.2).
+//
+// A routing region's tracks are a slot vector: each slot holds a signal net,
+// a shield, or nothing. The model assigns a coupling coefficient K(i, j) to
+// every victim/aggressor slot pair and defines the total coupling of net i,
+//   Ki = sum over slots j holding nets sensitive to i of K(i, j).
+// Ki is the quantity SINO bounds with Kth and the per-region factor of the
+// LSK sum (Eq. 1).
+//
+// The paper takes the K formula from [4]/[8] without reprinting it; this
+// implementation calibrates K(i, j) against the library's own MNA bus
+// simulator: sweeping one aggressor across track distances (with quiet
+// signal wires in between, the common case inside a routed region) shows
+// the victim's peak noise decays as a power law ~ d^-0.52 — much faster
+// than the bare-pair partial-mutual-inductance formula, because intervening
+// quiet wires carry induced return currents that screen the coupling.
+// A shield does the same but better (it is tied to the P/G network at both
+// ends): measured attenuation is ~0.38x per shield relative to the quiet
+// signal it replaces. The bench `bench_lsk_fidelity` re-derives both
+// numbers and verifies the fidelity property the paper relies on: higher Ki
+// means higher simulated noise at fixed length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/extract.h"
+
+namespace rlcr::ktable {
+
+/// Slot occupancy for one routing region's track set. Values >= 0 identify
+/// a signal net (indices are caller-defined); negative values are special.
+using Slot = std::int32_t;
+inline constexpr Slot kShieldSlot = -1;
+inline constexpr Slot kEmptySlot = -2;
+using SlotVec = std::vector<Slot>;
+
+struct KeffParams {
+  /// Power-law decay of coupling with track distance, K ~ d^-decay;
+  /// calibrated against the MNA simulator (quiet wires in between).
+  double decay_exponent = 0.52;
+  /// Multiplicative attenuation per shield strictly between the pair
+  /// (simulator-calibrated).
+  double shield_attenuation = 0.38;
+  /// Largest track separation the profile is tabulated for; pairs farther
+  /// apart are clamped to the profile tail.
+  int max_separation = 128;
+  /// Overall scale of K (1.0 = adjacent pair -> K = 1).
+  double scale = 1.0;
+};
+
+class KeffModel {
+ public:
+  /// `tech` is accepted for interface stability (the profile used to be
+  /// derived from the extractor's bare-pair formula; it is now calibrated
+  /// directly against simulation and depends only on `params`).
+  explicit KeffModel(const KeffParams& params = {},
+                     const circuit::Technology& tech = {});
+
+  const KeffParams& params() const { return params_; }
+
+  /// Distance profile: coupling of a bare pair at `separation` tracks,
+  /// normalized so separation 1 gives params.scale.
+  double profile(int separation) const;
+
+  /// Coupling coefficient between slots i and j of `slots`, accounting for
+  /// shields strictly between them. Zero for i == j or non-signal slots.
+  double pair_coupling(const SlotVec& slots, std::size_t i, std::size_t j) const;
+
+  /// Total inductive coupling Ki of the signal in slot `victim`:
+  /// sum of pair_coupling over all slots holding aggressors, where
+  /// `is_aggressor(net_value)` says whether a slot's net attacks the victim.
+  template <typename AggressorPred>
+  double total_coupling(const SlotVec& slots, std::size_t victim,
+                        AggressorPred&& is_aggressor) const {
+    if (victim >= slots.size() || slots[victim] < 0) return 0.0;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      if (j == victim || slots[j] < 0) continue;
+      if (!is_aggressor(slots[j])) continue;
+      acc += pair_coupling(slots, victim, j);
+    }
+    return acc;
+  }
+
+ private:
+  KeffParams params_;
+  std::vector<double> profile_;  // [separation] -> normalized coupling
+};
+
+}  // namespace rlcr::ktable

@@ -1,0 +1,112 @@
+#include "ktable/lsk_builder.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace rlcr::ktable {
+
+namespace {
+
+/// A random single-region assignment in the SINO solution style: one quiet
+/// victim, some aggressors, some shields, some empty tracks.
+struct Assignment {
+  SlotVec slots;            // for the Keff model
+  circuit::BusSpec bus;     // for the simulator
+  std::size_t victim_slot;
+};
+
+Assignment random_assignment(int tracks, double length_um, int segments,
+                             util::Xoshiro256& rng) {
+  Assignment a;
+  a.slots.assign(static_cast<std::size_t>(tracks), kEmptySlot);
+  a.bus.tracks.assign(static_cast<std::size_t>(tracks), {});
+  a.bus.length_um = length_um;
+  a.bus.segments = segments;
+
+  // Victim somewhere in the middle half so both sides can host aggressors.
+  const auto t = static_cast<std::size_t>(tracks);
+  a.victim_slot = static_cast<std::size_t>(
+      rng.range(static_cast<std::int64_t>(t / 4),
+                static_cast<std::int64_t>(t - 1 - t / 4)));
+  a.slots[a.victim_slot] = 0;  // net id 0 = victim
+  a.bus.tracks[a.victim_slot] = {circuit::TrackKind::kSignal, false};
+  a.bus.victim = static_cast<int>(a.victim_slot);
+
+  // Fill the rest: aggressor / shield / empty with weights that sweep the
+  // coupling range well.
+  std::int32_t next_net = 1;
+  for (std::size_t i = 0; i < t; ++i) {
+    if (i == a.victim_slot) continue;
+    const double u = rng.uniform();
+    if (u < 0.45) {
+      a.slots[i] = next_net++;
+      a.bus.tracks[i] = {circuit::TrackKind::kSignal, true};
+    } else if (u < 0.70) {
+      a.slots[i] = kShieldSlot;
+      a.bus.tracks[i] = {circuit::TrackKind::kShield, false};
+    }  // else leave empty
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<LskSample> LskTableBuilder::sample(
+    const KeffModel& keff, const circuit::Technology& tech) const {
+  util::Xoshiro256 rng(util::SplitMix64::mix2(options_.seed, 0x15C));
+  circuit::TransientOptions sim;
+  sim.t_stop = options_.sim_t_stop;
+  sim.dt = options_.sim_dt;
+
+  std::vector<LskSample> out;
+  out.reserve(options_.lengths_um.size() *
+              static_cast<std::size_t>(options_.samples_per_length));
+  for (double len : options_.lengths_um) {
+    for (int s = 0; s < options_.samples_per_length; ++s) {
+      const Assignment a =
+          random_assignment(options_.tracks, len, options_.segments, rng);
+      // Every aggressor is sensitive to the victim in the calibration set.
+      const double ki = keff.total_coupling(
+          a.slots, a.victim_slot, [](Slot net) { return net > 0; });
+      if (ki <= 0.0) continue;  // no aggressors sampled; skip
+      const double noise = circuit::simulate_victim_noise(a.bus, tech, sim);
+      out.push_back(LskSample{len / 1000.0 * ki, noise, len, ki});
+    }
+  }
+  return out;
+}
+
+util::LinearFit LskTableBuilder::fit(const std::vector<LskSample>& samples) const {
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (s.noise_v < options_.fit_v_lo || s.noise_v > options_.fit_v_hi) continue;
+    x.push_back(s.lsk);
+    y.push_back(s.noise_v);
+  }
+  // Fall back to the full sample set if the band filter starves the fit.
+  if (x.size() < 8) {
+    x.clear();
+    y.clear();
+    for (const auto& s : samples) {
+      x.push_back(s.lsk);
+      y.push_back(s.noise_v);
+    }
+  }
+  return util::linear_fit(x, y);
+}
+
+LskTable LskTableBuilder::build(const KeffModel& keff,
+                                const circuit::Technology& tech) const {
+  const auto samples = sample(keff, tech);
+  const util::LinearFit f = fit(samples);
+  // A degenerate fit (no samples, flat noise) falls back to the default so
+  // downstream flows keep working; callers can inspect fit() themselves.
+  if (f.slope <= 0.0) return LskTable::default_table();
+  return LskTable::from_linear(f.slope, f.intercept, options_.v_lo,
+                               options_.v_hi, options_.table_entries);
+}
+
+}  // namespace rlcr::ktable

@@ -1,0 +1,74 @@
+#include "ktable/lsk_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlcr::ktable {
+
+namespace {
+
+// Default calibration constants: produced by LskTableBuilder::fit() against
+// the MNA bus simulator at the default Technology (see bench_lsk_fidelity,
+// which regenerates and cross-checks them).
+constexpr double kDefaultSlope = 0.04021;      // V per LSK (mm)
+constexpr double kDefaultIntercept = 0.09725;  // V
+
+}  // namespace
+
+LskTable::LskTable(std::vector<LskEntry> entries) : entries_(std::move(entries)) {
+  if (entries_.size() < 2) {
+    throw std::invalid_argument("LskTable: need at least two entries");
+  }
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].lsk <= entries_[i - 1].lsk ||
+        entries_[i].voltage <= entries_[i - 1].voltage) {
+      throw std::invalid_argument("LskTable: entries must be strictly increasing");
+    }
+  }
+}
+
+double LskTable::voltage(double lsk) const {
+  const auto& e = entries_;
+  // Segment selection, with end segments reused for extrapolation.
+  std::size_t hi = 1;
+  if (lsk > e.front().lsk) {
+    while (hi + 1 < e.size() && e[hi].lsk < lsk) ++hi;
+  }
+  const auto& a = e[hi - 1];
+  const auto& b = e[hi];
+  const double t = (lsk - a.lsk) / (b.lsk - a.lsk);
+  return std::max(0.0, a.voltage + t * (b.voltage - a.voltage));
+}
+
+double LskTable::lsk_budget(double v) const {
+  const auto& e = entries_;
+  std::size_t hi = 1;
+  if (v > e.front().voltage) {
+    while (hi + 1 < e.size() && e[hi].voltage < v) ++hi;
+  }
+  const auto& a = e[hi - 1];
+  const auto& b = e[hi];
+  const double t = (v - a.voltage) / (b.voltage - a.voltage);
+  return std::max(0.0, a.lsk + t * (b.lsk - a.lsk));
+}
+
+LskTable LskTable::from_linear(double slope, double intercept, double v_lo,
+                               double v_hi, std::size_t entries) {
+  if (slope <= 0.0) throw std::invalid_argument("LskTable: slope must be > 0");
+  if (entries < 2) throw std::invalid_argument("LskTable: need >= 2 entries");
+  if (v_hi <= v_lo) throw std::invalid_argument("LskTable: bad voltage range");
+  std::vector<LskEntry> rows;
+  rows.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(entries - 1);
+    const double v = v_lo + f * (v_hi - v_lo);
+    rows.push_back(LskEntry{(v - intercept) / slope, v});
+  }
+  return LskTable(std::move(rows));
+}
+
+LskTable LskTable::default_table() {
+  return from_linear(kDefaultSlope, kDefaultIntercept);
+}
+
+}  // namespace rlcr::ktable

@@ -1,0 +1,58 @@
+// The LSK -> crosstalk-voltage lookup table (Section 2.2).
+//
+// LSK (Eq. 1) is  sum_j  l_j * K_i^j  over the regions j a net crosses,
+// with l_j the net's length in region j (millimetres here) and K_i^j its
+// total Keff coupling in that region's SINO/ordering solution. The paper
+// maps LSK to a noise voltage through a 100-entry table spanning
+// 0.10 V - 0.20 V, built from SPICE runs of single-region SINO solutions;
+// this module stores such a table, interpolates in both directions (voltage
+// from LSK for checking, LSK budget from voltage for Phase I budgeting),
+// and ships a default table calibrated with the MNA simulator
+// (see LskTableBuilder in lsk_builder.h for regenerating it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlcr::ktable {
+
+struct LskEntry {
+  double lsk;      ///< length-scaled coupling (mm * dimensionless K)
+  double voltage;  ///< peak crosstalk noise (V)
+};
+
+class LskTable {
+ public:
+  /// Entries must be strictly increasing in both lsk and voltage.
+  explicit LskTable(std::vector<LskEntry> entries);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<LskEntry>& entries() const { return entries_; }
+
+  /// Noise voltage for an LSK value: piecewise-linear interpolation inside
+  /// the table, linear extrapolation beyond either end (clamped at >= 0).
+  double voltage(double lsk) const;
+
+  /// Inverse lookup: the LSK budget whose mapped voltage equals `v`
+  /// (clamped at >= 0). This is the first step of Phase I budgeting.
+  double lsk_budget(double v) const;
+
+  /// Build a table of `entries` rows from the linear model
+  /// voltage = slope * lsk + intercept, spanning [v_lo, v_hi]. The linear
+  /// form mirrors the paper's observation that noise grows roughly linearly
+  /// with length-scaled coupling.
+  static LskTable from_linear(double slope, double intercept,
+                              double v_lo = 0.10, double v_hi = 0.20,
+                              std::size_t entries = 100);
+
+  /// The pre-calibrated default table (100 entries, 0.10 V - 0.20 V). Its
+  /// slope/intercept come from an LskTableBuilder run against the MNA
+  /// simulator at the default Technology; tests assert the builder
+  /// reproduces it to within tolerance.
+  static LskTable default_table();
+
+ private:
+  std::vector<LskEntry> entries_;
+};
+
+}  // namespace rlcr::ktable

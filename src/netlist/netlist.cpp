@@ -1,0 +1,40 @@
+#include "netlist/netlist.h"
+
+namespace rlcr::netlist {
+
+void Netlist::materialize_pins() {
+  for (Net& n : nets_) {
+    for (Pin& p : n.pins) {
+      if (p.cell != kNoCell) {
+        p.pos = cells_[static_cast<std::size_t>(p.cell)].pos;
+      }
+    }
+  }
+}
+
+std::size_t Netlist::routable_net_count() const {
+  std::size_t n = 0;
+  for (const Net& net : nets_)
+    if (net.routable()) ++n;
+  return n;
+}
+
+double Netlist::total_hpwl() const {
+  double acc = 0.0;
+  for (const Net& net : nets_)
+    if (net.routable()) acc += net.hpwl();
+  return acc;
+}
+
+double Netlist::average_degree() const {
+  std::size_t pins = 0;
+  std::size_t count = 0;
+  for (const Net& net : nets_) {
+    if (!net.routable()) continue;
+    pins += net.pins.size();
+    ++count;
+  }
+  return count == 0 ? 0.0 : static_cast<double>(pins) / static_cast<double>(count);
+}
+
+}  // namespace rlcr::netlist

@@ -1,0 +1,114 @@
+// Core netlist data model: cells, pins, nets, and the chip outline.
+//
+// Follows the paper's Section 2.1 conventions: each net Ni has pins
+// (p_i0, p_i1, ...) where p_i0 is the source and the rest are sinks; all
+// global interconnects share one driver/receiver configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rlcr::netlist {
+
+using NetId = std::int32_t;
+using CellId = std::int32_t;
+
+inline constexpr CellId kNoCell = -1;
+
+/// A placeable module (standard cell or pad). Positions are in micrometres
+/// from the chip's lower-left corner.
+struct Cell {
+  std::string name;
+  double area_um2 = 1.0;
+  geom::PointF pos{0.0, 0.0};
+  bool is_pad = false;
+  bool placed = false;
+};
+
+/// A net terminal. `cell` is kNoCell for synthetic nets whose pins carry
+/// their own coordinates; otherwise the pin tracks its cell's position.
+struct Pin {
+  geom::PointF pos{0.0, 0.0};
+  CellId cell = kNoCell;
+};
+
+/// A signal net: pins[0] is the source (driver), pins[1..] are sinks.
+struct Net {
+  std::string name;
+  std::vector<Pin> pins;
+
+  bool routable() const { return pins.size() >= 2; }
+  std::size_t sink_count() const { return pins.empty() ? 0 : pins.size() - 1; }
+
+  /// Bounding box of all pin positions, in micrometres.
+  geom::RectF bbox() const {
+    geom::RectF r;
+    for (const Pin& p : pins) r.expand(p.pos);
+    return r;
+  }
+
+  /// Half-perimeter wire length in micrometres.
+  double hpwl() const { return bbox().half_perimeter(); }
+};
+
+/// A placed design: cells (optional), signal nets, and the chip outline.
+class Netlist {
+ public:
+  Netlist() = default;
+  Netlist(std::string name, double width_um, double height_um)
+      : name_(std::move(name)), width_um_(width_um), height_um_(height_um) {}
+
+  const std::string& name() const { return name_; }
+  double width_um() const { return width_um_; }
+  double height_um() const { return height_um_; }
+  void set_outline(double w_um, double h_um) {
+    width_um_ = w_um;
+    height_um_ = h_um;
+  }
+
+  CellId add_cell(Cell cell) {
+    cells_.push_back(std::move(cell));
+    return static_cast<CellId>(cells_.size() - 1);
+  }
+  NetId add_net(Net net) {
+    nets_.push_back(std::move(net));
+    return static_cast<NetId>(nets_.size() - 1);
+  }
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::size_t net_count() const { return nets_.size(); }
+
+  Cell& cell(CellId id) { return cells_[static_cast<std::size_t>(id)]; }
+  const Cell& cell(CellId id) const { return cells_[static_cast<std::size_t>(id)]; }
+  Net& net(NetId id) { return nets_[static_cast<std::size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  /// Copy every placed cell's position onto the pins that reference it.
+  /// Call after placement so routing sees final pin coordinates.
+  void materialize_pins();
+
+  /// Count of nets with >= 2 pins (the ones global routing must connect).
+  std::size_t routable_net_count() const;
+
+  /// Sum of HPWL over routable nets (placement quality metric).
+  double total_hpwl() const;
+
+  /// Average pins per routable net.
+  double average_degree() const;
+
+ private:
+  std::string name_;
+  double width_um_ = 0.0;
+  double height_um_ = 0.0;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace rlcr::netlist

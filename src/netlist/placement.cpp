@@ -1,0 +1,226 @@
+#include "netlist/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace rlcr::netlist {
+
+namespace {
+
+/// Working view of the connectivity: for each cell, the nets touching it;
+/// for each net, its cells (deduplicated).
+struct Hypergraph {
+  std::vector<std::vector<std::int32_t>> cell_nets;  // cell -> net ids
+  std::vector<std::vector<CellId>> net_cells;        // net -> cell ids
+};
+
+Hypergraph build_hypergraph(const Netlist& nl) {
+  Hypergraph h;
+  h.cell_nets.resize(nl.cell_count());
+  h.net_cells.resize(nl.net_count());
+  for (std::size_t n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.net(static_cast<NetId>(n));
+    std::unordered_set<CellId> seen;
+    for (const Pin& p : net.pins) {
+      if (p.cell == kNoCell) continue;
+      if (!seen.insert(p.cell).second) continue;
+      h.net_cells[n].push_back(p.cell);
+      h.cell_nets[static_cast<std::size_t>(p.cell)].push_back(
+          static_cast<std::int32_t>(n));
+    }
+  }
+  return h;
+}
+
+/// One bisection task: a set of cells to spread over a rectangle.
+struct Task {
+  std::vector<CellId> cells;
+  double lo_x, lo_y, hi_x, hi_y;
+  bool cut_vertical;  // split the rectangle with a vertical line?
+  std::size_t depth;
+};
+
+}  // namespace
+
+PlacementResult BisectionPlacer::place(Netlist& nl) const {
+  PlacementResult result;
+  if (nl.cell_count() == 0) {
+    nl.materialize_pins();
+    return result;
+  }
+
+  const Hypergraph hg = build_hypergraph(nl);
+  util::Xoshiro256 rng(util::SplitMix64::mix2(options_.seed, 0x9ACE));
+
+  // Pads go on the boundary, evenly spaced; core cells are bisected inside.
+  std::vector<CellId> pads, core;
+  for (std::size_t i = 0; i < nl.cell_count(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    (nl.cell(id).is_pad ? pads : core).push_back(id);
+  }
+
+  const double w = nl.width_um();
+  const double h = nl.height_um();
+  if (!pads.empty()) {
+    const double perimeter = 2.0 * (w + h);
+    const double step = perimeter / static_cast<double>(pads.size());
+    double s = 0.0;
+    for (CellId id : pads) {
+      geom::PointF p;
+      double t = std::fmod(s, perimeter);
+      if (t < w) {
+        p = {t, 0.0};
+      } else if (t < w + h) {
+        p = {w, t - w};
+      } else if (t < 2.0 * w + h) {
+        p = {2.0 * w + h - t, h};
+      } else {
+        p = {0.0, perimeter - t};
+      }
+      nl.cell(id).pos = p;
+      nl.cell(id).placed = true;
+      s += step;
+    }
+  }
+
+  // `side` tracks the current partition id of every cell during one cut so
+  // the FM gain computation can count cut nets quickly.
+  std::vector<std::int8_t> side(nl.cell_count(), 0);
+
+  std::vector<Task> stack;
+  stack.push_back(Task{core, 0.0, 0.0, w, h, w >= h, 0});
+
+  while (!stack.empty()) {
+    Task task = std::move(stack.back());
+    stack.pop_back();
+    result.cut_levels = std::max(result.cut_levels, task.depth + 1);
+
+    if (task.cells.size() <= static_cast<std::size_t>(options_.leaf_cell_limit)) {
+      // Leaf: spread cells in a row-major mini-grid inside the rectangle.
+      const std::size_t n = task.cells.size();
+      const auto grid = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1)))));
+      for (std::size_t i = 0; i < n; ++i) {
+        const double fx = (static_cast<double>(i % grid) + 0.5) / static_cast<double>(grid);
+        const double fy = (static_cast<double>(i / grid) + 0.5) / static_cast<double>(grid);
+        Cell& c = nl.cell(task.cells[i]);
+        c.pos = {task.lo_x + fx * (task.hi_x - task.lo_x),
+                 task.lo_y + fy * (task.hi_y - task.lo_y)};
+        c.placed = true;
+      }
+      continue;
+    }
+
+    // --- Initial balanced split, randomized for tie-breaking. ---
+    std::vector<CellId>& cells = task.cells;
+    rng.shuffle(cells);
+    const std::size_t half = cells.size() / 2;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      side[static_cast<std::size_t>(cells[i])] = (i < half) ? 0 : 1;
+    }
+
+    // Membership test for nets that leave the current cell subset.
+    std::unordered_set<CellId> in_task(cells.begin(), cells.end());
+
+    // Per-net counts of cells on each side (cells outside the task are
+    // ignored: they are already fixed elsewhere).
+    std::unordered_map<std::int32_t, std::pair<int, int>> net_balance;
+    for (CellId c : cells) {
+      for (std::int32_t n : hg.cell_nets[static_cast<std::size_t>(c)]) {
+        auto& b = net_balance[n];
+        (side[static_cast<std::size_t>(c)] == 0 ? b.first : b.second)++;
+      }
+    }
+
+    // --- FM-style passes: move a cell when it strictly reduces the cut and
+    // balance allows. ---
+    auto count_on_side = [&](std::size_t s0, std::size_t s1) {
+      return std::pair<std::size_t, std::size_t>{s0, s1};
+    };
+    (void)count_on_side;
+    std::size_t size0 = half;
+    std::size_t size1 = cells.size() - half;
+    const double max_imbalance =
+        options_.balance_slack * static_cast<double>(cells.size());
+
+    for (int pass = 0; pass < options_.fm_passes; ++pass) {
+      std::size_t moved = 0;
+      for (CellId c : cells) {
+        const auto ci = static_cast<std::size_t>(c);
+        const std::int8_t from = side[ci];
+        // Balance check for moving c to the other side.
+        const std::size_t from_size = (from == 0) ? size0 : size1;
+        const std::size_t to_size = (from == 0) ? size1 : size0;
+        if (static_cast<double>(to_size + 1) -
+                static_cast<double>(from_size - 1) >
+            max_imbalance) {
+          continue;
+        }
+        // Gain: nets that become uncut minus nets that become cut.
+        int gain = 0;
+        for (std::int32_t n : hg.cell_nets[ci]) {
+          const auto& b = net_balance[n];
+          const int here = (from == 0) ? b.first : b.second;
+          const int there = (from == 0) ? b.second : b.first;
+          if (here == 1 && there > 0) ++gain;   // cut disappears
+          if (there == 0 && here > 1) --gain;   // new cut appears
+        }
+        if (gain <= 0) continue;
+        // Apply the move.
+        side[ci] = static_cast<std::int8_t>(1 - from);
+        for (std::int32_t n : hg.cell_nets[ci]) {
+          auto& b = net_balance[n];
+          if (from == 0) {
+            --b.first;
+            ++b.second;
+          } else {
+            ++b.first;
+            --b.second;
+          }
+        }
+        if (from == 0) {
+          --size0;
+          ++size1;
+        } else {
+          ++size0;
+          --size1;
+        }
+        ++moved;
+      }
+      result.moves_applied += moved;
+      if (moved == 0) break;
+    }
+
+    // --- Split geometry and recurse. ---
+    std::vector<CellId> left, right;
+    left.reserve(size0);
+    right.reserve(size1);
+    for (CellId c : cells) {
+      (side[static_cast<std::size_t>(c)] == 0 ? left : right).push_back(c);
+    }
+    Task a, b;
+    a.depth = b.depth = task.depth + 1;
+    if (task.cut_vertical) {
+      const double mid = 0.5 * (task.lo_x + task.hi_x);
+      a = Task{std::move(left), task.lo_x, task.lo_y, mid, task.hi_y, false, task.depth + 1};
+      b = Task{std::move(right), mid, task.lo_y, task.hi_x, task.hi_y, false, task.depth + 1};
+    } else {
+      const double mid = 0.5 * (task.lo_y + task.hi_y);
+      a = Task{std::move(left), task.lo_x, task.lo_y, task.hi_x, mid, true, task.depth + 1};
+      b = Task{std::move(right), task.lo_x, mid, task.hi_x, task.hi_y, true, task.depth + 1};
+    }
+    stack.push_back(std::move(a));
+    stack.push_back(std::move(b));
+  }
+
+  nl.materialize_pins();
+  result.hpwl_um = nl.total_hpwl();
+  return result;
+}
+
+}  // namespace rlcr::netlist

@@ -1,0 +1,44 @@
+// Recursive min-cut bisection placement: the stand-in for DRAGON [11].
+//
+// The paper's flow starts from DRAGON placements of the IBM circuits. For
+// netlists parsed from ISPD'98 files (which carry no coordinates), this
+// placer assigns every cell a position by recursive bisection with a
+// Fiduccia-Mattheyses-style gain pass at each cut, the same family of
+// technique DRAGON's global placement stage uses. Synthetic benchmarks ship
+// pre-placed and do not need it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace rlcr::netlist {
+
+struct PlacerOptions {
+  int leaf_cell_limit = 8;   ///< stop recursing below this many cells
+  int fm_passes = 2;         ///< FM-style improvement passes per cut
+  double balance_slack = 0.12;  ///< allowed deviation from perfect bisection
+  std::uint64_t seed = 1;
+};
+
+/// Statistics of one placement run.
+struct PlacementResult {
+  double hpwl_um = 0.0;       ///< total half-perimeter WL after placement
+  std::size_t cut_levels = 0; ///< recursion depth reached
+  std::size_t moves_applied = 0;  ///< FM moves that improved the cut
+};
+
+class BisectionPlacer {
+ public:
+  explicit BisectionPlacer(PlacerOptions options = {}) : options_(options) {}
+
+  /// Place all cells of `nl` inside its outline (which must be set) and
+  /// materialize pin positions. Pads are placed on the chip boundary.
+  PlacementResult place(Netlist& nl) const;
+
+ private:
+  PlacerOptions options_;
+};
+
+}  // namespace rlcr::netlist

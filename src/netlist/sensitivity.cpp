@@ -1,0 +1,41 @@
+#include "netlist/sensitivity.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace rlcr::netlist {
+
+SensitivityModel::SensitivityModel(std::size_t num_nets, double rate,
+                                   std::uint64_t seed, double heterogeneity)
+    : rate_(rate), seed_(seed), si_(num_nets) {
+  util::Xoshiro256 rng(util::SplitMix64::mix2(seed, 0xC0FFEE));
+  const double lo = rate * (1.0 - heterogeneity);
+  const double hi = rate * (1.0 + heterogeneity);
+  for (auto& s : si_) s = std::clamp(rng.uniform(lo, hi), 0.0, 1.0);
+}
+
+bool SensitivityModel::sensitive(NetId i, NetId j) const {
+  if (i == j || i < 0 || j < 0) return false;
+  const auto ui = static_cast<std::size_t>(i);
+  const auto uj = static_cast<std::size_t>(j);
+  if (ui >= si_.size() || uj >= si_.size()) return false;
+  if (rate_ <= 0.0) return false;
+  const double p = std::min(1.0, si_[ui] * si_[uj] / rate_);
+  // Symmetric deterministic draw: hash the unordered pair with the seed.
+  const std::uint64_t a = static_cast<std::uint64_t>(std::min(i, j));
+  const std::uint64_t b = static_cast<std::uint64_t>(std::max(i, j));
+  const std::uint64_t h = util::SplitMix64::mix2(seed_ ^ (a << 32 | b), b);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+std::size_t SensitivityModel::aggressor_count(
+    NetId i, const std::vector<NetId>& candidates) const {
+  std::size_t n = 0;
+  for (NetId j : candidates)
+    if (sensitive(i, j)) ++n;
+  return n;
+}
+
+}  // namespace rlcr::netlist

@@ -1,0 +1,51 @@
+// Net-to-net sensitivity model (Section 2.1 of the paper).
+//
+// Two nets are "sensitive" when a switching event on one can make the other
+// malfunction. The paper evaluates with random sensitivity at rates 30% and
+// 50%. Storing an N x N matrix is infeasible at full-chip scale (30k+ nets),
+// so sensitivity is defined by a deterministic pairwise hash: sensitive(i, j)
+// is an O(1), storage-free, symmetric, seed-reproducible query.
+//
+// To make the paper's "spread the sensitive nets" mechanism meaningful, nets
+// carry heterogeneous sensitivity weights s_i with mean equal to the global
+// rate r: P(sensitive(i, j)) = min(1, s_i * s_j / r), so E[P] = r and the
+// expected aggressor fraction of net i (its "sensitivity rate" S_i in the
+// paper's Eq. 3) equals s_i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace rlcr::netlist {
+
+class SensitivityModel {
+ public:
+  /// `rate` is the paper's global sensitivity rate (0.30 or 0.50).
+  /// `heterogeneity` in [0, 1): s_i is drawn uniformly from
+  /// rate * [1 - heterogeneity, 1 + heterogeneity].
+  SensitivityModel(std::size_t num_nets, double rate, std::uint64_t seed,
+                   double heterogeneity = 0.5);
+
+  double rate() const { return rate_; }
+  std::size_t net_count() const { return si_.size(); }
+
+  /// Per-net sensitivity rate S_i: the expected fraction of all signal nets
+  /// that are aggressors for net i. Input to Eq. (3).
+  double si(NetId i) const { return si_[static_cast<std::size_t>(i)]; }
+
+  /// Symmetric pairwise sensitivity. A net is never sensitive to itself.
+  bool sensitive(NetId i, NetId j) const;
+
+  /// Exact realized aggressor count of net i against a candidate set
+  /// (used by tests to validate the S_i ~ s_i concentration property).
+  std::size_t aggressor_count(NetId i, const std::vector<NetId>& candidates) const;
+
+ private:
+  double rate_;
+  std::uint64_t seed_;
+  std::vector<double> si_;
+};
+
+}  // namespace rlcr::netlist

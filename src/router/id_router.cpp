@@ -1,0 +1,523 @@
+#include "router/id_router.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "rsmt/steiner.h"
+#include "util/stopwatch.h"
+
+namespace rlcr::router {
+
+namespace {
+
+constexpr std::uint8_t kActive = 0;
+constexpr std::uint8_t kDeleted = 1;
+constexpr std::uint8_t kLocked = 2;
+
+struct LocalEdge {
+  std::int32_t u = 0, v = 0;   // local vertex ids
+  float fwl = 0.0f;            // static wire-length term
+  std::uint8_t dir = 0;        // grid::Dir as index
+  std::uint8_t state = kActive;
+  std::uint8_t reinserts = 0;
+};
+
+/// Per-net working graph over the pin bounding box.
+struct NetWork {
+  geom::Rect bbox;
+  std::int32_t w = 0, h = 0;  // bbox dimensions in regions
+  std::vector<LocalEdge> edges;
+  // CSR adjacency: vertex -> [edge ids].
+  std::vector<std::int32_t> adj_offset;
+  std::vector<std::int32_t> adj_edges;
+  // Active incident-edge count per vertex per direction.
+  std::vector<std::array<std::uint16_t, 2>> incident;
+  std::vector<std::int32_t> pin_locals;
+  std::vector<std::int32_t> pin_limits;  ///< BFS distance cap per pin (guard)
+  std::int32_t src_local = 0;
+  double si = 0.0;
+  bool prerouted = false;
+  std::vector<GridEdge> fixed_edges;  // for pre-routed nets
+
+  // Expected-usage demand model: the net's final route will cross about
+  // `est_regions[d]` regions in direction d; while `active_regions[d]`
+  // regions still hold candidate edges, each carries fractional demand
+  // weight[d] = min(1, est/active). The weights converge to binary
+  // presence as deletion thins the graph, so region densities stay
+  // realistic throughout instead of counting whole bounding boxes.
+  double est_regions[2] = {0.0, 0.0};
+  std::int32_t active_regions[2] = {0, 0};
+  double weight_applied[2] = {0.0, 0.0};
+
+  std::int32_t local(geom::Point p) const {
+    return (p.y - bbox.lo.y) * w + (p.x - bbox.lo.x);
+  }
+  geom::Point global(std::int32_t v) const {
+    return geom::Point{bbox.lo.x + v % w, bbox.lo.y + v / w};
+  }
+  std::size_t vertex_count() const {
+    return static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+  }
+  double target_weight(int d) const {
+    if (active_regions[d] <= 0) return 0.0;
+    return std::min(1.0, est_regions[d] / active_regions[d]);
+  }
+};
+
+struct HeapEntry {
+  double weight;
+  std::int32_t net;
+  std::int32_t edge;
+
+  bool operator<(const HeapEntry& o) const {
+    // Max-heap on weight; deterministic tie-break on (net, edge).
+    if (weight != o.weight) return weight < o.weight;
+    if (net != o.net) return net < o.net;
+    return edge < o.edge;
+  }
+};
+
+/// Shared per-(region, direction) presence statistics (fractional under the
+/// expected-usage model).
+struct RegionStats {
+  std::vector<double> nns[2];
+  std::vector<double> sum_si[2];
+  std::vector<double> sum_si2[2];
+
+  explicit RegionStats(std::size_t regions) {
+    for (int d = 0; d < 2; ++d) {
+      nns[d].assign(regions, 0.0);
+      sum_si[d].assign(regions, 0.0);
+      sum_si2[d].assign(regions, 0.0);
+    }
+  }
+  void add(std::size_t region, int d, double w, double si) {
+    nns[d][region] += w;
+    sum_si[d][region] += w * si;
+    sum_si2[d][region] += w * si * si;
+  }
+};
+
+/// L-shaped walk between two region points. The leg order is chosen by a
+/// deterministic hash of the endpoints so that pre-routed nets spread over
+/// both elbow choices instead of piling onto shared x-first corridors.
+void emit_l_shape(geom::Point p, geom::Point q, std::vector<GridEdge>& out) {
+  const std::uint64_t h = std::hash<geom::Point>{}(p) * 31 + std::hash<geom::Point>{}(q);
+  const bool x_first = (h & 1) == 0;
+  geom::Point cur = p;
+  auto walk_x = [&]() {
+    const std::int32_t step_x = (q.x > cur.x) ? 1 : -1;
+    while (cur.x != q.x) {
+      const geom::Point next{cur.x + step_x, cur.y};
+      out.push_back(make_edge(cur, next));
+      cur = next;
+    }
+  };
+  auto walk_y = [&]() {
+    const std::int32_t step_y = (q.y > cur.y) ? 1 : -1;
+    while (cur.y != q.y) {
+      const geom::Point next{cur.x, cur.y + step_y};
+      out.push_back(make_edge(cur, next));
+      cur = next;
+    }
+  };
+  if (x_first) {
+    walk_x();
+    walk_y();
+  } else {
+    walk_y();
+    walk_x();
+  }
+}
+
+struct GridEdgeHash {
+  std::size_t operator()(const GridEdge& e) const noexcept {
+    const std::hash<geom::Point> h;
+    return h(e.a) * 1000003u ^ h(e.b);
+  }
+};
+
+}  // namespace
+
+IdRouter::IdRouter(const grid::RegionGrid& grid, const sino::NssModel& nss,
+                   const IdRouterOptions& options)
+    : grid_(&grid), nss_(&nss), options_(options) {}
+
+RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
+  util::Stopwatch watch;
+  RoutingResult result;
+  result.routes.resize(nets.size());
+
+  const std::size_t region_count = grid_->region_count();
+  RegionStats stats(region_count);
+
+  // ---------------------------------------------------------------- build
+  std::vector<NetWork> works(nets.size());
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const RouterNet& net = nets[n];
+    NetWork& wk = works[n];
+    wk.si = net.si;
+    result.routes[n].net_id = net.id;
+    for (const geom::Point& p : net.pins) wk.bbox.expand(p);
+    if (net.pins.size() < 2 || wk.bbox.cell_count() <= 1) {
+      wk.prerouted = true;  // nothing to route
+      continue;
+    }
+    wk.w = static_cast<std::int32_t>(wk.bbox.width());
+    wk.h = static_cast<std::int32_t>(wk.bbox.height());
+
+    if (static_cast<std::size_t>(wk.bbox.cell_count()) >
+        options_.huge_net_bbox_threshold) {
+      // Pre-route on the RSMT topology with L-shapes; fixed demand.
+      wk.prerouted = true;
+      ++result.stats.prerouted_nets;
+      const rsmt::Tree tree = rsmt::rsmt(net.pins);
+      std::unordered_set<GridEdge, GridEdgeHash> seen;
+      std::vector<GridEdge> scratch;
+      for (const auto& [a, b] : tree.edges) {
+        scratch.clear();
+        emit_l_shape(tree.nodes[static_cast<std::size_t>(a)],
+                     tree.nodes[static_cast<std::size_t>(b)], scratch);
+        for (const GridEdge& e : scratch) {
+          if (seen.insert(e).second) wk.fixed_edges.push_back(e);
+        }
+      }
+      // Fixed (binary) presence: each endpoint region of each edge.
+      std::unordered_set<std::uint64_t> present;  // region * 2 + dir
+      for (const GridEdge& e : wk.fixed_edges) {
+        const int d = static_cast<int>(e.dir());
+        for (const geom::Point p : {e.a, e.b}) {
+          const std::uint64_t key = grid_->index(p) * 2 + static_cast<unsigned>(d);
+          if (present.insert(key).second) {
+            stats.add(grid_->index(p), d, 1.0, wk.si);
+          }
+        }
+      }
+      continue;
+    }
+
+    // Full connection graph over the bounding box.
+    const auto vcount = wk.vertex_count();
+    wk.incident.assign(vcount, {0, 0});
+    for (std::int32_t y = 0; y < wk.h; ++y) {
+      for (std::int32_t x = 0; x < wk.w; ++x) {
+        const std::int32_t v = y * wk.w + x;
+        if (x + 1 < wk.w) {
+          wk.edges.push_back(LocalEdge{
+              v, v + 1, 0.0f,
+              static_cast<std::uint8_t>(grid::Dir::kHorizontal), kActive, 0});
+        }
+        if (y + 1 < wk.h) {
+          wk.edges.push_back(LocalEdge{
+              v, v + wk.w, 0.0f,
+              static_cast<std::uint8_t>(grid::Dir::kVertical), kActive, 0});
+        }
+      }
+    }
+
+    // CSR adjacency.
+    wk.adj_offset.assign(vcount + 1, 0);
+    for (const LocalEdge& e : wk.edges) {
+      ++wk.adj_offset[static_cast<std::size_t>(e.u) + 1];
+      ++wk.adj_offset[static_cast<std::size_t>(e.v) + 1];
+    }
+    for (std::size_t i = 1; i < wk.adj_offset.size(); ++i) {
+      wk.adj_offset[i] += wk.adj_offset[i - 1];
+    }
+    wk.adj_edges.assign(static_cast<std::size_t>(wk.adj_offset.back()), 0);
+    {
+      std::vector<std::int32_t> cursor(wk.adj_offset.begin(),
+                                       wk.adj_offset.end() - 1);
+      for (std::size_t ei = 0; ei < wk.edges.size(); ++ei) {
+        const LocalEdge& e = wk.edges[ei];
+        wk.adj_edges[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(e.u)]++)] =
+            static_cast<std::int32_t>(ei);
+        wk.adj_edges[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(e.v)]++)] =
+            static_cast<std::int32_t>(ei);
+      }
+    }
+
+    // Pins (deduplicated local ids) and their detour-guard limits.
+    {
+      std::unordered_set<std::int32_t> pin_set;
+      for (const geom::Point& p : net.pins) pin_set.insert(wk.local(p));
+      wk.pin_locals.assign(pin_set.begin(), pin_set.end());
+      std::sort(wk.pin_locals.begin(), wk.pin_locals.end());
+      wk.src_local = wk.local(net.pins.front());
+      wk.pin_limits.reserve(wk.pin_locals.size());
+      for (std::int32_t pl : wk.pin_locals) {
+        const auto dist = geom::manhattan(wk.global(pl), net.pins.front());
+        wk.pin_limits.push_back(static_cast<std::int32_t>(std::ceil(
+                                    options_.max_detour_factor *
+                                    static_cast<double>(dist))) +
+                                options_.detour_slack);
+      }
+    }
+
+    // Static f(WL) per edge: shortest source->sink path forced through it,
+    // normalized by the RSMT length estimate (>= 1 region unit).
+    const double rsmt_len =
+        static_cast<double>(std::max<std::int64_t>(1, rsmt::rsmt_length(net.pins)));
+    const geom::Point src = net.pins.front();
+    auto min_sink_dist = [&](geom::Point p) {
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t i = 1; i < net.pins.size(); ++i) {
+        best = std::min(best, geom::manhattan(p, net.pins[i]));
+      }
+      return best;
+    };
+    for (LocalEdge& e : wk.edges) {
+      const geom::Point pu = wk.global(e.u);
+      const geom::Point pv = wk.global(e.v);
+      const std::int64_t through_uv =
+          geom::manhattan(src, pu) + 1 + min_sink_dist(pv);
+      const std::int64_t through_vu =
+          geom::manhattan(src, pv) + 1 + min_sink_dist(pu);
+      e.fwl = static_cast<float>(
+          static_cast<double>(std::min(through_uv, through_vu)) / rsmt_len);
+    }
+
+    // Incident counts, expected-usage estimates, and initial presence.
+    for (const LocalEdge& e : wk.edges) {
+      ++wk.incident[static_cast<std::size_t>(e.u)][e.dir];
+      ++wk.incident[static_cast<std::size_t>(e.v)][e.dir];
+    }
+    // The final tree crosses roughly rsmt_len boundaries, split between
+    // directions in proportion to the bbox aspect; +1 converts crossings
+    // to touched regions.
+    {
+      const double wx = std::max(1, wk.w - 1);
+      const double wy = std::max(1, wk.h - 1);
+      wk.est_regions[0] = rsmt_len * (wx / (wx + wy)) + 1.0;
+      wk.est_regions[1] = rsmt_len * (wy / (wx + wy)) + 1.0;
+    }
+    for (int d = 0; d < 2; ++d) {
+      for (std::size_t v = 0; v < vcount; ++v) {
+        if (wk.incident[v][static_cast<std::size_t>(d)] > 0) {
+          ++wk.active_regions[d];
+        }
+      }
+      wk.weight_applied[d] = wk.target_weight(d);
+      for (std::size_t v = 0; v < vcount; ++v) {
+        if (wk.incident[v][static_cast<std::size_t>(d)] > 0) {
+          stats.add(grid_->index(wk.global(static_cast<std::int32_t>(v))), d,
+                    wk.weight_applied[d], wk.si);
+        }
+      }
+    }
+    result.stats.edges_initial += wk.edges.size();
+  }
+
+  // --------------------------------------------------------------- weights
+  const IdWeights& wt = options_.weights;
+  auto density = [&](std::size_t region, int d) {
+    double hu = stats.nns[d][region];
+    if (options_.reserve_shields) {
+      hu += nss_->estimate(stats.nns[d][region], stats.sum_si[d][region],
+                           stats.sum_si2[d][region]);
+    }
+    return hu / grid_->capacity(static_cast<grid::Dir>(d));
+  };
+  auto overflow = [&](std::size_t region, int d) {
+    const double dens = density(region, d);
+    return dens > 1.0 ? dens - 1.0 : 0.0;
+  };
+  auto edge_weight = [&](const NetWork& wk, const LocalEdge& e) {
+    const std::size_t ru = grid_->index(wk.global(e.u));
+    const std::size_t rv = grid_->index(wk.global(e.v));
+    const int d = e.dir;
+    const double hd = 0.5 * (density(ru, d) + density(rv, d));
+    const double ofr = 0.5 * (overflow(ru, d) + overflow(rv, d));
+    return wt.alpha * static_cast<double>(e.fwl) + wt.beta * hd + wt.gamma * ofr;
+  };
+
+  /// Rebalance one net's fractional demand after its active-region count
+  /// in direction d changed (the per-region weight moves toward 1).
+  auto rebalance = [&](NetWork& wk, int d) {
+    const double target = wk.target_weight(d);
+    const double delta = target - wk.weight_applied[d];
+    if (std::abs(delta) < 1e-12) return;
+    const std::size_t vcount = wk.vertex_count();
+    for (std::size_t v = 0; v < vcount; ++v) {
+      if (wk.incident[v][static_cast<std::size_t>(d)] > 0) {
+        stats.add(grid_->index(wk.global(static_cast<std::int32_t>(v))), d,
+                  delta, wk.si);
+      }
+    }
+    wk.weight_applied[d] = target;
+  };
+
+  // ------------------------------------------------------------------ heap
+  std::priority_queue<HeapEntry> heap;
+  for (std::size_t n = 0; n < works.size(); ++n) {
+    const NetWork& wk = works[n];
+    if (wk.prerouted) continue;
+    for (std::size_t ei = 0; ei < wk.edges.size(); ++ei) {
+      heap.push(HeapEntry{edge_weight(wk, wk.edges[ei]),
+                          static_cast<std::int32_t>(n),
+                          static_cast<std::int32_t>(ei)});
+    }
+  }
+
+  // Scratch for BFS connectivity checks (sized to the largest net).
+  std::size_t max_vertices = 0;
+  for (const NetWork& wk : works) {
+    if (!wk.prerouted) max_vertices = std::max(max_vertices, wk.vertex_count());
+  }
+  std::vector<std::uint32_t> visit_stamp(max_vertices, 0);
+  std::vector<std::int32_t> visit_dist(max_vertices, 0);
+  std::uint32_t stamp = 0;
+  std::vector<std::int32_t> bfs_queue;
+  bfs_queue.reserve(max_vertices);
+
+  /// BFS from the source over active edges, optionally skipping one edge;
+  /// distances land in visit_dist (stamped).
+  auto bfs_from_source = [&](const NetWork& wk, std::int32_t skip_edge) {
+    ++stamp;
+    bfs_queue.clear();
+    bfs_queue.push_back(wk.src_local);
+    visit_stamp[static_cast<std::size_t>(wk.src_local)] = stamp;
+    visit_dist[static_cast<std::size_t>(wk.src_local)] = 0;
+    for (std::size_t head = 0; head < bfs_queue.size(); ++head) {
+      const std::int32_t v = bfs_queue[head];
+      for (std::int32_t i = wk.adj_offset[static_cast<std::size_t>(v)];
+           i < wk.adj_offset[static_cast<std::size_t>(v) + 1]; ++i) {
+        const std::int32_t ei = wk.adj_edges[static_cast<std::size_t>(i)];
+        if (ei == skip_edge) continue;
+        const LocalEdge& e = wk.edges[static_cast<std::size_t>(ei)];
+        if (e.state != kActive) continue;
+        const std::int32_t other = (e.u == v) ? e.v : e.u;
+        if (visit_stamp[static_cast<std::size_t>(other)] == stamp) continue;
+        visit_stamp[static_cast<std::size_t>(other)] = stamp;
+        visit_dist[static_cast<std::size_t>(other)] =
+            visit_dist[static_cast<std::size_t>(v)] + 1;
+        bfs_queue.push_back(other);
+      }
+    }
+  };
+
+  /// May `skip_edge` be deleted? Requires every pin to stay reachable from
+  /// the source within its detour-guard distance limit.
+  auto deletable = [&](const NetWork& wk, std::int32_t skip_edge) {
+    bfs_from_source(wk, skip_edge);
+    for (std::size_t p = 0; p < wk.pin_locals.size(); ++p) {
+      const auto v = static_cast<std::size_t>(wk.pin_locals[p]);
+      if (visit_stamp[v] != stamp) return false;
+      if (visit_dist[v] > wk.pin_limits[p]) return false;
+    }
+    return true;
+  };
+
+  // ------------------------------------------------------------- deletion
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    NetWork& wk = works[static_cast<std::size_t>(top.net)];
+    LocalEdge& e = wk.edges[static_cast<std::size_t>(top.edge)];
+    if (e.state != kActive) continue;
+
+    // Lazy revalidation: weights only decrease, so a stale (too-high) entry
+    // is reinserted at its current weight instead of being processed.
+    const double now = edge_weight(wk, e);
+    if (now < top.weight - 1e-9 &&
+        e.reinserts < options_.max_reinserts_per_edge) {
+      ++e.reinserts;
+      ++result.stats.reinserts;
+      heap.push(HeapEntry{now, top.net, top.edge});
+      continue;
+    }
+
+    if (!deletable(wk, top.edge)) {
+      e.state = kLocked;  // a pin-bridge (or guard-essential edge) stays
+      ++result.stats.edges_locked;
+      continue;
+    }
+
+    // Delete the edge and update presence statistics.
+    e.state = kDeleted;
+    ++result.stats.edges_deleted;
+    bool lost_region = false;
+    for (const std::int32_t v : {e.u, e.v}) {
+      auto& cnt = wk.incident[static_cast<std::size_t>(v)][e.dir];
+      --cnt;
+      if (cnt == 0) {
+        stats.add(grid_->index(wk.global(v)), e.dir, -wk.weight_applied[e.dir],
+                  wk.si);
+        --wk.active_regions[e.dir];
+        lost_region = true;
+      }
+    }
+    if (lost_region) rebalance(wk, e.dir);
+  }
+
+  // ------------------------------------------------------------- collect
+  // The surviving graph can still hold cycles or stubs the detour guard
+  // refused to delete; extract the BFS shortest-path tree from the source
+  // and keep only the edges on some source->pin path. This preserves the
+  // guard's path-length certificates while dropping redundant edges.
+  std::vector<std::int32_t> parent_edge(max_vertices, -1);
+  for (std::size_t n = 0; n < works.size(); ++n) {
+    NetWork& wk = works[n];
+    NetRoute& route = result.routes[n];
+    if (wk.prerouted) {
+      route.edges = std::move(wk.fixed_edges);
+      result.total_wirelength_um += route.wirelength_um(*grid_);
+      continue;
+    }
+
+    // BFS with parent pointers over non-deleted edges.
+    ++stamp;
+    bfs_queue.clear();
+    bfs_queue.push_back(wk.src_local);
+    visit_stamp[static_cast<std::size_t>(wk.src_local)] = stamp;
+    parent_edge[static_cast<std::size_t>(wk.src_local)] = -1;
+    for (std::size_t head = 0; head < bfs_queue.size(); ++head) {
+      const std::int32_t v = bfs_queue[head];
+      for (std::int32_t i = wk.adj_offset[static_cast<std::size_t>(v)];
+           i < wk.adj_offset[static_cast<std::size_t>(v) + 1]; ++i) {
+        const std::int32_t ei = wk.adj_edges[static_cast<std::size_t>(i)];
+        const LocalEdge& e = wk.edges[static_cast<std::size_t>(ei)];
+        if (e.state == kDeleted) continue;
+        const std::int32_t other = (e.u == v) ? e.v : e.u;
+        if (visit_stamp[static_cast<std::size_t>(other)] == stamp) continue;
+        visit_stamp[static_cast<std::size_t>(other)] = stamp;
+        parent_edge[static_cast<std::size_t>(other)] = ei;
+        bfs_queue.push_back(other);
+      }
+    }
+
+    // Union of source->pin parent paths.
+    std::unordered_set<std::int32_t> kept;
+    for (const std::int32_t pl : wk.pin_locals) {
+      std::int32_t v = pl;
+      while (v != wk.src_local &&
+             visit_stamp[static_cast<std::size_t>(v)] == stamp) {
+        const std::int32_t ei = parent_edge[static_cast<std::size_t>(v)];
+        if (ei < 0 || !kept.insert(ei).second) break;  // joined existing path
+        const LocalEdge& e = wk.edges[static_cast<std::size_t>(ei)];
+        v = (e.u == v) ? e.v : e.u;
+      }
+    }
+    route.edges.reserve(kept.size());
+    for (const std::int32_t ei : kept) {
+      const LocalEdge& e = wk.edges[static_cast<std::size_t>(ei)];
+      route.edges.push_back(make_edge(wk.global(e.u), wk.global(e.v)));
+    }
+    std::sort(route.edges.begin(), route.edges.end(),
+              [](const GridEdge& x, const GridEdge& y) {
+                if (x.a != y.a) return x.a < y.a;
+                return x.b < y.b;
+              });
+    result.total_wirelength_um += route.wirelength_um(*grid_);
+  }
+  result.stats.runtime_s = watch.seconds();
+  return result;
+}
+
+}  // namespace rlcr::router

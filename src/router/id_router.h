@@ -1,0 +1,79 @@
+// Iterative-deletion (ID) global router (Cong & Preas [10], as adapted by
+// the paper's Phase I).
+//
+// Every net starts with its full connection graph Gi — all region-adjacency
+// edges inside its pin bounding box. The router repeatedly deletes the
+// largest-weight edge over all nets (Fig. 1 of the paper) until each net's
+// graph is reduced to a Steiner tree over its pins. Because all nets'
+// candidate edges compete in one pool, the outcome does not depend on a net
+// ordering — the property the paper chooses ID for.
+//
+// Edge weight (Eq. 2):  w(e) = alpha * f(WL) + beta * HD(R) + gamma * HOFR(R)
+//   - f(WL): length of the shortest source->sink path forced through e,
+//     normalized by the net's estimated RSMT length (detour edges weigh more
+//     and are deleted first);
+//   - HD:   track density (Nns + Nss) / capacity, where Nss is the Eq. (3)
+//     shield estimate updated incrementally from the region's running
+//     (Nns, sum Si, sum Si^2) — this is what reserves and minimizes
+//     shielding area during routing and spreads sensitive nets;
+//   - HOFR: relative overflow.
+// Edge weights only decrease as deletion proceeds, so the max-heap uses
+// lazy revalidation: a popped entry whose recomputed weight dropped is
+// reinserted instead of processed.
+//
+// Nets whose bounding box exceeds a size threshold would contribute
+// enormous connection graphs (the classic ID scalability problem the paper
+// acknowledges in Section 5); they are pre-routed on their RSMT topology
+// with L-shaped segments and contribute fixed track demand instead.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/congestion.h"
+#include "grid/region_grid.h"
+#include "router/route_types.h"
+#include "sino/nss.h"
+
+namespace rlcr::router {
+
+struct IdWeights {
+  double alpha = 2.0;  ///< wire-length coefficient (paper's value)
+  double beta = 1.0;   ///< density coefficient (paper's value)
+  double gamma = 50.0; ///< overflow coefficient (paper's value)
+};
+
+struct IdRouterOptions {
+  IdWeights weights;
+  /// Include the Eq. (3) shield estimate in HU. True for GSINO Phase I;
+  /// false for the ID+NO / iSINO baselines (the paper's fairness rule).
+  bool reserve_shields = true;
+  /// Pin bounding boxes with more regions than this are pre-routed on
+  /// their RSMT instead of entering the deletion pool.
+  std::size_t huge_net_bbox_threshold = 600;
+  /// Safety cap on lazy-heap reinsertions per edge.
+  int max_reinserts_per_edge = 64;
+  /// Detour guard: a deletion is refused when it would leave some sink's
+  /// shortest path from the source longer than
+  ///   max_detour_factor * manhattan(source, sink) + detour_slack.
+  /// This enforces the very assumption Phase I budgeting makes (actual path
+  /// length ~ Manhattan estimate); without it, pure weight-driven deletion
+  /// can leave arbitrarily long snakes through quiet regions.
+  double max_detour_factor = 1.3;
+  std::int32_t detour_slack = 1;
+};
+
+class IdRouter {
+ public:
+  IdRouter(const grid::RegionGrid& grid, const sino::NssModel& nss,
+           const IdRouterOptions& options = {});
+
+  /// Route all nets. The result's routes are parallel to `nets`.
+  RoutingResult route(const std::vector<RouterNet>& nets) const;
+
+ private:
+  const grid::RegionGrid* grid_;
+  const sino::NssModel* nss_;
+  IdRouterOptions options_;
+};
+
+}  // namespace rlcr::router

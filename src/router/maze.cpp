@@ -1,0 +1,152 @@
+#include "router/maze.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "rsmt/steiner.h"
+#include "util/stopwatch.h"
+
+namespace rlcr::router {
+
+namespace {
+
+struct GridEdgeHash {
+  std::size_t operator()(const GridEdge& e) const noexcept {
+    const std::hash<geom::Point> h;
+    return h(e.a) * 1000003u ^ h(e.b);
+  }
+};
+
+}  // namespace
+
+MazeRouter::MazeRouter(const grid::RegionGrid& grid, const MazeOptions& options)
+    : grid_(&grid), options_(options) {}
+
+RoutingResult MazeRouter::route(const std::vector<RouterNet>& nets) const {
+  util::Stopwatch watch;
+  RoutingResult result;
+  result.routes.resize(nets.size());
+
+  // Shared usage per (region, dir): tracks consumed so far.
+  std::vector<double> usage[2];
+  for (auto& u : usage) u.assign(grid_->region_count(), 0.0);
+
+  auto edge_cost = [&](geom::Point a, geom::Point b) {
+    const grid::Dir d = (a.y == b.y) ? grid::Dir::kHorizontal : grid::Dir::kVertical;
+    const int di = static_cast<int>(d);
+    const double cap = grid_->capacity(d);
+    const double u =
+        0.5 * (usage[di][grid_->index(a)] + usage[di][grid_->index(b)]);
+    const double over = std::max(0.0, (u + 1.0 - cap) / cap);
+    return 1.0 + options_.congestion_penalty * over;
+  };
+
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const RouterNet& net = nets[n];
+    NetRoute& route = result.routes[n];
+    route.net_id = net.id;
+    if (net.pins.size() < 2) continue;
+
+    geom::Rect window;
+    for (const geom::Point& p : net.pins) window.expand(p);
+    window = window.inflated(options_.bbox_margin, grid_->cols(), grid_->rows());
+    const std::int32_t w = static_cast<std::int32_t>(window.width());
+    const std::int32_t h = static_cast<std::int32_t>(window.height());
+    auto local = [&](geom::Point p) { return (p.y - window.lo.y) * w + (p.x - window.lo.x); };
+    auto global = [&](std::int32_t v) {
+      return geom::Point{window.lo.x + v % w, window.lo.y + v / w};
+    };
+    const std::size_t vcount = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+
+    std::unordered_set<GridEdge, GridEdgeHash> tree_edges;
+
+    // Route 2-pin connections along the RSMT topology, connecting each new
+    // terminal to the set of already-reached vertices.
+    const rsmt::Tree topo = rsmt::rsmt(net.pins);
+    std::vector<char> reached(vcount, 0);
+    reached[static_cast<std::size_t>(local(net.pins[0]))] = 1;
+
+    for (const auto& [ta, tb] : topo.edges) {
+      const geom::Point target_a = topo.nodes[static_cast<std::size_t>(ta)];
+      const geom::Point target_b = topo.nodes[static_cast<std::size_t>(tb)];
+      // Pick whichever endpoint is not yet reached as the goal; if both are
+      // unreached, route between them directly.
+      geom::Point goal = target_b;
+      if (reached[static_cast<std::size_t>(local(target_b))] &&
+          !reached[static_cast<std::size_t>(local(target_a))]) {
+        goal = target_a;
+      } else if (reached[static_cast<std::size_t>(local(target_b))] &&
+                 reached[static_cast<std::size_t>(local(target_a))]) {
+        continue;  // both endpoints already in the tree
+      }
+
+      // Dijkstra from all reached vertices to `goal`.
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+      std::vector<double> dist(vcount, kInf);
+      std::vector<std::int32_t> prev(vcount, -1);
+      using QE = std::pair<double, std::int32_t>;
+      std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+      for (std::size_t v = 0; v < vcount; ++v) {
+        if (reached[v]) {
+          dist[v] = 0.0;
+          pq.push({0.0, static_cast<std::int32_t>(v)});
+        }
+      }
+      const std::int32_t goal_v = local(goal);
+      while (!pq.empty()) {
+        const auto [dv, v] = pq.top();
+        pq.pop();
+        if (dv > dist[static_cast<std::size_t>(v)]) continue;
+        if (v == goal_v) break;
+        const geom::Point pv = global(v);
+        const geom::Point nbrs[4] = {{pv.x - 1, pv.y}, {pv.x + 1, pv.y},
+                                     {pv.x, pv.y - 1}, {pv.x, pv.y + 1}};
+        for (const geom::Point& pn : nbrs) {
+          if (!window.contains(pn)) continue;
+          const std::int32_t u = local(pn);
+          const double cost = dv + edge_cost(pv, pn);
+          if (cost < dist[static_cast<std::size_t>(u)]) {
+            dist[static_cast<std::size_t>(u)] = cost;
+            prev[static_cast<std::size_t>(u)] = v;
+            pq.push({cost, u});
+          }
+        }
+      }
+      // Backtrack, marking the path reached and collecting edges.
+      std::int32_t v = goal_v;
+      while (prev[static_cast<std::size_t>(v)] >= 0 &&
+             !reached[static_cast<std::size_t>(v)]) {
+        const std::int32_t p = prev[static_cast<std::size_t>(v)];
+        tree_edges.insert(make_edge(global(v), global(p)));
+        reached[static_cast<std::size_t>(v)] = 1;
+        v = p;
+      }
+      reached[static_cast<std::size_t>(goal_v)] = 1;
+    }
+
+    route.edges.assign(tree_edges.begin(), tree_edges.end());
+    // Deterministic order for downstream consumers.
+    std::sort(route.edges.begin(), route.edges.end(),
+              [](const GridEdge& x, const GridEdge& y) {
+                if (x.a != y.a) return x.a < y.a;
+                return x.b < y.b;
+              });
+
+    // Commit usage: one track per (region, dir) the net is present in.
+    std::unordered_set<std::uint64_t> present;
+    for (const GridEdge& e : route.edges) {
+      const int d = static_cast<int>(e.dir());
+      for (const geom::Point p : {e.a, e.b}) {
+        const std::uint64_t key = grid_->index(p) * 2 + static_cast<unsigned>(d);
+        if (present.insert(key).second) usage[d][grid_->index(p)] += 1.0;
+      }
+    }
+    result.total_wirelength_um += route.wirelength_um(*grid_);
+  }
+  result.stats.runtime_s = watch.seconds();
+  return result;
+}
+
+}  // namespace rlcr::router

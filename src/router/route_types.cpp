@@ -1,0 +1,50 @@
+#include "router/route_types.h"
+
+#include <unordered_map>
+
+namespace rlcr::router {
+
+double NetRoute::wirelength_um(const grid::RegionGrid& grid) const {
+  double acc = 0.0;
+  for (const GridEdge& e : edges) {
+    acc += grid.span_um(e.dir());
+  }
+  return acc;
+}
+
+bool NetRoute::connects(const std::vector<geom::Point>& pins) const {
+  if (pins.size() <= 1) return true;
+
+  // Union-find over every point appearing in the route or the pin list.
+  std::unordered_map<geom::Point, std::size_t> id;
+  auto intern = [&](geom::Point p) {
+    return id.emplace(p, id.size()).first->second;
+  };
+  for (const GridEdge& e : edges) {
+    intern(e.a);
+    intern(e.b);
+  }
+  for (const geom::Point& p : pins) intern(p);
+
+  std::vector<std::size_t> parent(id.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const GridEdge& e : edges) {
+    const std::size_t a = find(id.at(e.a));
+    const std::size_t b = find(id.at(e.b));
+    if (a != b) parent[a] = b;
+  }
+  const std::size_t root = find(id.at(pins[0]));
+  for (const geom::Point& p : pins) {
+    if (find(id.at(p)) != root) return false;
+  }
+  return true;
+}
+
+}  // namespace rlcr::router

@@ -1,0 +1,65 @@
+// Global-routing input/output types shared by the ID and maze routers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "grid/region_grid.h"
+
+namespace rlcr::router {
+
+/// A net as the global router sees it: pins mapped to routing regions
+/// (deduplicated), plus the sensitivity rate used for shield estimation.
+struct RouterNet {
+  std::int32_t id = -1;            ///< caller's net identifier
+  std::vector<geom::Point> pins;   ///< distinct region coordinates; [0]=source
+  double si = 0.0;                 ///< sensitivity rate S_i
+};
+
+/// An edge between two adjacent regions; canonical form has a <= b.
+struct GridEdge {
+  geom::Point a, b;
+
+  grid::Dir dir() const {
+    return a.y == b.y ? grid::Dir::kHorizontal : grid::Dir::kVertical;
+  }
+  friend constexpr bool operator==(const GridEdge&, const GridEdge&) = default;
+};
+
+/// Canonicalize so that a <= b (lexicographic).
+inline GridEdge make_edge(geom::Point p, geom::Point q) {
+  return (q < p) ? GridEdge{q, p} : GridEdge{p, q};
+}
+
+/// The routed tree of one net over the region graph.
+struct NetRoute {
+  std::int32_t net_id = -1;
+  std::vector<GridEdge> edges;
+
+  /// Wire length: each region-boundary crossing spans half of each adjacent
+  /// region, i.e. one full region pitch in its direction.
+  double wirelength_um(const grid::RegionGrid& grid) const;
+
+  /// True if `edges` connect all of `pins` (single component); used by
+  /// tests and by the flow's internal sanity checks.
+  bool connects(const std::vector<geom::Point>& pins) const;
+};
+
+struct RoutingStats {
+  std::size_t edges_initial = 0;
+  std::size_t edges_deleted = 0;
+  std::size_t edges_locked = 0;
+  std::size_t reinserts = 0;
+  std::size_t prerouted_nets = 0;
+  double runtime_s = 0.0;
+};
+
+struct RoutingResult {
+  std::vector<NetRoute> routes;  ///< parallel to the input net vector
+  double total_wirelength_um = 0.0;
+  RoutingStats stats;
+};
+
+}  // namespace rlcr::router

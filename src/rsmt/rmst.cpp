@@ -1,0 +1,51 @@
+#include "rsmt/rmst.h"
+
+#include <limits>
+#include <vector>
+
+namespace rlcr::rsmt {
+
+Tree rmst(std::span<const geom::Point> pins) {
+  Tree t;
+  t.nodes.assign(pins.begin(), pins.end());
+  t.pin_count = pins.size();
+  const std::size_t n = pins.size();
+  if (n < 2) return t;
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best(n, kInf);
+  std::vector<std::int32_t> parent(n, -1);
+  std::vector<char> in_tree(n, 0);
+
+  best[0] = 0;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    // Pick the cheapest unattached node.
+    std::size_t u = n;
+    std::int64_t u_cost = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best[i] < u_cost) {
+        u = i;
+        u_cost = best[i];
+      }
+    }
+    in_tree[u] = 1;
+    if (parent[u] >= 0) {
+      t.edges.emplace_back(parent[u], static_cast<std::int32_t>(u));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const std::int64_t d = geom::manhattan(t.nodes[u], t.nodes[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        parent[v] = static_cast<std::int32_t>(u);
+      }
+    }
+  }
+  return t;
+}
+
+std::int64_t rmst_length(std::span<const geom::Point> pins) {
+  return rmst(pins).length();
+}
+
+}  // namespace rlcr::rsmt

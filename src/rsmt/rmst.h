@@ -1,0 +1,17 @@
+// Rectilinear minimum spanning tree (Prim's algorithm under the L1 metric).
+#pragma once
+
+#include <span>
+
+#include "rsmt/tree.h"
+
+namespace rlcr::rsmt {
+
+/// Build the rectilinear MST over `pins`. Duplicate points are allowed
+/// (they connect at zero cost). O(n^2), adequate for net degrees <= ~100.
+Tree rmst(std::span<const geom::Point> pins);
+
+/// MST length without materializing the tree.
+std::int64_t rmst_length(std::span<const geom::Point> pins);
+
+}  // namespace rlcr::rsmt

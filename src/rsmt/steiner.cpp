@@ -1,0 +1,152 @@
+#include "rsmt/steiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "rsmt/rmst.h"
+
+namespace rlcr::rsmt {
+
+namespace {
+
+/// MST length over an explicit point set (Prim, O(n^2)).
+std::int64_t mst_length(const std::vector<geom::Point>& pts) {
+  const std::size_t n = pts.size();
+  if (n < 2) return 0;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best(n, kInf);
+  std::vector<char> used(n, 0);
+  best[0] = 0;
+  std::int64_t total = 0;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    std::size_t u = n;
+    std::int64_t u_cost = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!used[i] && best[i] < u_cost) {
+        u = i;
+        u_cost = best[i];
+      }
+    }
+    used[u] = 1;
+    total += (u_cost == kInf ? 0 : u_cost);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (used[v]) continue;
+      best[v] = std::min(best[v], geom::manhattan(pts[u], pts[v]));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+Tree rsmt(std::span<const geom::Point> pins, const SteinerOptions& options) {
+  if (pins.size() <= 2 || pins.size() > options.max_pins_exact) {
+    return rmst(pins);
+  }
+
+  std::vector<geom::Point> pts(pins.begin(), pins.end());
+  const std::size_t pin_count = pts.size();
+  std::int64_t current = mst_length(pts);
+
+  for (std::size_t round = 0; round < options.max_steiner_points; ++round) {
+    // Hanan candidates: cross products of existing x and y coordinates.
+    std::vector<std::int32_t> xs, ys;
+    xs.reserve(pts.size());
+    ys.reserve(pts.size());
+    for (const auto& p : pts) {
+      xs.push_back(p.x);
+      ys.push_back(p.y);
+    }
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+    std::int64_t best_len = current;
+    geom::Point best_pt{};
+    bool found = false;
+
+    std::vector<geom::Point> trial = pts;
+    trial.push_back({});
+    for (std::int32_t x : xs) {
+      for (std::int32_t y : ys) {
+        const geom::Point cand{x, y};
+        bool duplicate = false;
+        for (const auto& p : pts) {
+          if (p == cand) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        trial.back() = cand;
+        const std::int64_t len = mst_length(trial);
+        if (len < best_len) {
+          best_len = len;
+          best_pt = cand;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    pts.push_back(best_pt);
+    current = best_len;
+  }
+
+  // Materialize the MST over pins + chosen Steiner points, then prune
+  // Steiner leaves (they only add length).
+  Tree t = rmst(pts);
+  t.pin_count = pin_count;
+
+  bool pruned = true;
+  while (pruned) {
+    pruned = false;
+    std::vector<int> degree(t.nodes.size(), 0);
+    for (const auto& [a, b] : t.edges) {
+      ++degree[static_cast<std::size_t>(a)];
+      ++degree[static_cast<std::size_t>(b)];
+    }
+    for (std::size_t v = pin_count; v < t.nodes.size(); ++v) {
+      if (degree[v] == 1) {
+        // Remove the single incident edge; the node stays but is harmless.
+        auto it = std::find_if(t.edges.begin(), t.edges.end(), [&](const auto& e) {
+          return static_cast<std::size_t>(e.first) == v ||
+                 static_cast<std::size_t>(e.second) == v;
+        });
+        if (it != t.edges.end()) {
+          t.edges.erase(it);
+          pruned = true;
+        }
+      }
+    }
+  }
+
+  // Drop now-isolated Steiner nodes and reindex.
+  std::vector<int> degree(t.nodes.size(), 0);
+  for (const auto& [a, b] : t.edges) {
+    ++degree[static_cast<std::size_t>(a)];
+    ++degree[static_cast<std::size_t>(b)];
+  }
+  std::vector<std::int32_t> remap(t.nodes.size(), -1);
+  Tree out;
+  out.pin_count = pin_count;
+  for (std::size_t v = 0; v < t.nodes.size(); ++v) {
+    if (v < pin_count || degree[v] > 0) {
+      remap[v] = static_cast<std::int32_t>(out.nodes.size());
+      out.nodes.push_back(t.nodes[v]);
+    }
+  }
+  for (const auto& [a, b] : t.edges) {
+    out.edges.emplace_back(remap[static_cast<std::size_t>(a)],
+                           remap[static_cast<std::size_t>(b)]);
+  }
+  return out;
+}
+
+std::int64_t rsmt_length(std::span<const geom::Point> pins,
+                         const SteinerOptions& options) {
+  return rsmt(pins, options).length();
+}
+
+}  // namespace rlcr::rsmt

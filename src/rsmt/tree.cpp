@@ -1,0 +1,46 @@
+#include "rsmt/tree.h"
+
+#include <vector>
+
+namespace rlcr::rsmt {
+
+std::int64_t Tree::length() const {
+  std::int64_t acc = 0;
+  for (const auto& [a, b] : edges) {
+    acc += geom::manhattan(nodes[static_cast<std::size_t>(a)],
+                           nodes[static_cast<std::size_t>(b)]);
+  }
+  return acc;
+}
+
+bool Tree::connected() const {
+  if (nodes.empty()) return true;
+  std::vector<std::vector<std::int32_t>> adj(nodes.size());
+  for (const auto& [a, b] : edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  std::vector<char> seen(nodes.size(), 0);
+  std::vector<std::int32_t> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    for (std::int32_t w : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == nodes.size();
+}
+
+bool Tree::is_tree() const {
+  if (nodes.empty()) return true;
+  return edges.size() == nodes.size() - 1 && connected();
+}
+
+}  // namespace rlcr::rsmt

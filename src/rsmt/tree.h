@@ -1,0 +1,34 @@
+// Rectilinear spanning/Steiner tree representation.
+//
+// The router uses these trees twice: the estimated RSMT length normalizes
+// the wire-length term f(WL) of the ID weight function (paper Eq. 2), and
+// the crosstalk budgeter of Phase I divides each sink's LSK budget by the
+// source-sink Manhattan distance.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace rlcr::rsmt {
+
+/// A tree over grid points. The first `pin_count` nodes are the original
+/// pins (in input order); any further nodes are Steiner points.
+struct Tree {
+  std::vector<geom::Point> nodes;
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;  // node indices
+  std::size_t pin_count = 0;
+
+  /// Total Manhattan length of all edges.
+  std::int64_t length() const;
+
+  /// True when the edges connect all nodes into a single component.
+  bool connected() const;
+
+  /// True when |edges| == |nodes| - 1 and connected (i.e., a tree).
+  bool is_tree() const;
+};
+
+}  // namespace rlcr::rsmt

@@ -1,0 +1,101 @@
+#include "sino/anneal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sino/greedy.h"
+#include "util/rng.h"
+
+namespace rlcr::sino {
+
+namespace {
+
+/// Remove trailing empty slots (canonical form keeps area honest).
+void trim(SlotVec& slots) {
+  while (!slots.empty() && slots.back() == kEmptySlot) slots.pop_back();
+}
+
+}  // namespace
+
+AnnealResult solve_anneal(const SinoInstance& instance,
+                          const ktable::KeffModel& keff,
+                          const AnnealOptions& options) {
+  const SinoEvaluator eval(instance, keff);
+  util::Xoshiro256 rng(util::SplitMix64::mix2(options.seed, 0xA22EA1));
+
+  SlotVec current = solve_greedy(instance, keff);
+  trim(current);
+  double current_cost = eval.cost(current, options.violation_penalty);
+
+  AnnealResult best;
+  best.slots = current;
+  best.cost = current_cost;
+  best.feasible = eval.check(current).feasible();
+
+  if (instance.net_count() == 0) return best;
+
+  const double cool =
+      std::pow(options.t_end / options.t_start,
+               1.0 / std::max(1, options.iterations - 1));
+  double temp = options.t_start;
+
+  for (int it = 0; it < options.iterations; ++it, temp *= cool) {
+    SlotVec trial = current;
+    const double move = rng.uniform();
+
+    if (move < 0.40 && trial.size() >= 2) {
+      // Swap two slots (any occupancy kinds).
+      const auto a = static_cast<std::size_t>(rng.below(trial.size()));
+      const auto b = static_cast<std::size_t>(rng.below(trial.size()));
+      std::swap(trial[a], trial[b]);
+    } else if (move < 0.65 && trial.size() >= 2) {
+      // Relocate one slot's occupant to a random position (rotate range).
+      const auto a = static_cast<std::size_t>(rng.below(trial.size()));
+      const auto b = static_cast<std::size_t>(rng.below(trial.size()));
+      if (a != b) {
+        const ktable::Slot v = trial[a];
+        trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(a));
+        trial.insert(trial.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(b, trial.size())),
+                     v);
+      }
+    } else if (move < 0.85) {
+      // Insert a shield at a random position.
+      const auto pos = static_cast<std::size_t>(rng.below(trial.size() + 1));
+      trial.insert(trial.begin() + static_cast<std::ptrdiff_t>(pos), kShieldSlot);
+    } else {
+      // Remove a random shield (if there is one).
+      std::vector<std::size_t> shields;
+      for (std::size_t s = 0; s < trial.size(); ++s) {
+        if (trial[s] == kShieldSlot) shields.push_back(s);
+      }
+      if (shields.empty()) continue;
+      const std::size_t pick = shields[rng.below(shields.size())];
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    trim(trial);
+
+    const double trial_cost = eval.cost(trial, options.violation_penalty);
+    const double delta = trial_cost - current_cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      current = std::move(trial);
+      current_cost = trial_cost;
+      ++best.moves_accepted;
+      const bool feasible = eval.check(current).feasible();
+      if ((feasible && !best.feasible) ||
+          (feasible == best.feasible && current_cost < best.cost)) {
+        best.slots = current;
+        best.cost = current_cost;
+        best.feasible = feasible;
+      }
+    }
+  }
+
+  // Final polish: drop any shield the best solution does not need.
+  compact_shields(best.slots, eval);
+  best.cost = eval.cost(best.slots, options.violation_penalty);
+  best.feasible = eval.check(best.slots).feasible();
+  return best;
+}
+
+}  // namespace rlcr::sino

@@ -1,0 +1,110 @@
+#include "sino/evaluator.h"
+
+#include <algorithm>
+
+namespace rlcr::sino {
+
+bool SinoEvaluator::capacitively_adjacent(const SlotVec& slots, std::size_t i,
+                                          std::size_t j) const {
+  if (i == j || i >= slots.size() || j >= slots.size()) return false;
+  const std::size_t lo = std::min(i, j);
+  const std::size_t hi = std::max(i, j);
+  for (std::size_t k = lo + 1; k < hi; ++k) {
+    if (slots[k] != kEmptySlot) return false;
+  }
+  return true;
+}
+
+double SinoEvaluator::ki(const SlotVec& slots, std::size_t slot_index) const {
+  const auto victim_net = slots[slot_index];
+  if (victim_net < 0) return 0.0;
+  const auto v = static_cast<std::size_t>(victim_net);
+  return keff_->total_coupling(slots, slot_index, [&](ktable::Slot other) {
+    return instance_->sensitive(v, static_cast<std::size_t>(other));
+  });
+}
+
+std::vector<double> SinoEvaluator::all_ki(const SlotVec& slots) const {
+  std::vector<double> out(instance_->net_count(), 0.0);
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s] >= 0) {
+      out[static_cast<std::size_t>(slots[s])] = ki(slots, s);
+    }
+  }
+  return out;
+}
+
+SinoCheck SinoEvaluator::check(const SlotVec& slots) const {
+  SinoCheck result;
+
+  // Placement completeness: every net exactly once.
+  std::vector<int> seen(instance_->net_count(), 0);
+  bool ok = true;
+  for (ktable::Slot s : slots) {
+    if (s >= 0) {
+      const auto i = static_cast<std::size_t>(s);
+      if (i >= seen.size() || seen[i]++) ok = false;
+    }
+  }
+  for (int c : seen) {
+    if (c != 1) ok = false;
+  }
+  result.placed_all = ok;
+
+  // Capacitive: scan each occupied slot's next occupied slot to the right;
+  // that single pair is the only capacitively-adjacent pair across the gap.
+  std::ptrdiff_t prev = -1;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s] == kEmptySlot) continue;
+    if (prev >= 0) {
+      const ktable::Slot a = slots[static_cast<std::size_t>(prev)];
+      const ktable::Slot b = slots[s];
+      if (a >= 0 && b >= 0 &&
+          instance_->sensitive(static_cast<std::size_t>(a),
+                               static_cast<std::size_t>(b))) {
+        ++result.capacitive_violations;
+      }
+    }
+    prev = static_cast<std::ptrdiff_t>(s);
+  }
+
+  // Inductive: Ki vs Kth per net.
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s] < 0) continue;
+    const auto net_idx = static_cast<std::size_t>(slots[s]);
+    const double k = ki(slots, s);
+    const double bound = instance_->net(net_idx).kth;
+    if (k > bound) {
+      ++result.inductive_violations;
+      result.inductive_excess += k - bound;
+    }
+  }
+  return result;
+}
+
+int SinoEvaluator::area(const SlotVec& slots) {
+  int n = 0;
+  for (ktable::Slot s : slots) {
+    if (s != kEmptySlot) ++n;
+  }
+  return n;
+}
+
+int SinoEvaluator::shield_count(const SlotVec& slots) {
+  int n = 0;
+  for (ktable::Slot s : slots) {
+    if (s == kShieldSlot) ++n;
+  }
+  return n;
+}
+
+double SinoEvaluator::cost(const SlotVec& slots, double violation_penalty) const {
+  const SinoCheck c = check(slots);
+  double penalty = violation_penalty *
+                   (c.capacitive_violations + c.inductive_violations);
+  penalty += violation_penalty * c.inductive_excess;
+  if (!c.placed_all) penalty += 1e6;
+  return static_cast<double>(area(slots)) + penalty;
+}
+
+}  // namespace rlcr::sino

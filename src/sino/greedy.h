@@ -1,0 +1,30 @@
+// Greedy constructive SINO solver.
+//
+// Nets are placed in decreasing sensitivity order; each net is appended to
+// the current track stack, with a shield inserted first whenever appending
+// directly would violate capacitive freeness against the previous occupant
+// or push any net's Ki beyond its Kth. A final compaction pass removes
+// shields that turn out to be unnecessary. Fast enough to run in every
+// routing region of a full chip, and the seed for the annealing solver.
+#pragma once
+
+#include "sino/evaluator.h"
+
+namespace rlcr::sino {
+
+struct GreedyOptions {
+  /// Hard cap on solution width (tracks). 0 = unlimited. When the cap binds
+  /// the solver still returns its best attempt; callers check feasibility.
+  int max_tracks = 0;
+};
+
+/// Build a SINO solution for `instance`. The result uses exactly the slots
+/// it needs (no trailing empties).
+SlotVec solve_greedy(const SinoInstance& instance, const ktable::KeffModel& keff,
+                     const GreedyOptions& options = {});
+
+/// Shield-compaction pass shared with the annealer: removes each shield
+/// whose removal keeps the solution feasible. Returns the number removed.
+int compact_shields(SlotVec& slots, const SinoEvaluator& eval);
+
+}  // namespace rlcr::sino

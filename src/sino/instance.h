@@ -1,0 +1,71 @@
+// A single-region SINO problem instance (after He & Lepak [4]).
+//
+// Given the nets that cross one routing region in one direction, SINO picks
+// a track ordering and inserts shields so that
+//   (1) no two mutually sensitive nets sit on capacitively adjacent tracks,
+//   (2) every net's total inductive coupling Ki stays within its bound Kth,
+// while using as few tracks (area) as possible.
+//
+// The instance is self-contained: pairwise sensitivities are stored as a
+// dense matrix (regions hold tens of nets, so this is cheap), decoupling the
+// solver from the full-chip sensitivity model.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rlcr::sino {
+
+/// One net crossing the region.
+struct SinoNet {
+  std::int32_t net_id = -1;  ///< caller's identifier (global NetId)
+  double si = 0.0;           ///< sensitivity rate S_i (input to Eq. 3)
+  double kth = 1.0;          ///< inductive coupling bound for this segment
+};
+
+class SinoInstance {
+ public:
+  SinoInstance() = default;
+  explicit SinoInstance(std::vector<SinoNet> nets)
+      : nets_(std::move(nets)),
+        sensitive_(nets_.size() * nets_.size(), 0) {}
+
+  std::size_t net_count() const { return nets_.size(); }
+  const SinoNet& net(std::size_t i) const { return nets_[i]; }
+  SinoNet& net(std::size_t i) { return nets_[i]; }
+  const std::vector<SinoNet>& nets() const { return nets_; }
+
+  /// Mark nets i and j (indices into nets()) as mutually sensitive.
+  void set_sensitive(std::size_t i, std::size_t j, bool v = true) {
+    if (i >= nets_.size() || j >= nets_.size()) {
+      throw std::out_of_range("SinoInstance::set_sensitive");
+    }
+    sensitive_[i * nets_.size() + j] = v ? 1 : 0;
+    sensitive_[j * nets_.size() + i] = v ? 1 : 0;
+  }
+
+  bool sensitive(std::size_t i, std::size_t j) const {
+    if (i == j) return false;
+    return sensitive_[i * nets_.size() + j] != 0;
+  }
+
+  /// Sum of S_i over all nets (Eq. 3 input).
+  double sum_si() const {
+    double acc = 0.0;
+    for (const auto& n : nets_) acc += n.si;
+    return acc;
+  }
+  /// Sum of S_i^2 over all nets (Eq. 3 input).
+  double sum_si2() const {
+    double acc = 0.0;
+    for (const auto& n : nets_) acc += n.si * n.si;
+    return acc;
+  }
+
+ private:
+  std::vector<SinoNet> nets_;
+  std::vector<char> sensitive_;  // dense symmetric matrix
+};
+
+}  // namespace rlcr::sino

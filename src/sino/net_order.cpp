@@ -1,0 +1,90 @@
+#include "sino/net_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rlcr::sino {
+
+namespace {
+
+int count_adjacent_sensitive(const SlotVec& slots, const SinoInstance& inst) {
+  int count = 0;
+  for (std::size_t s = 1; s < slots.size(); ++s) {
+    const ktable::Slot a = slots[s - 1];
+    const ktable::Slot b = slots[s];
+    if (a >= 0 && b >= 0 &&
+        inst.sensitive(static_cast<std::size_t>(a), static_cast<std::size_t>(b))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+NetOrderResult solve_net_order(const SinoInstance& instance,
+                               const ktable::KeffModel& keff) {
+  (void)keff;  // ordering optimizes the capacitive objective only
+  NetOrderResult out;
+  const std::size_t n = instance.net_count();
+  if (n == 0) return out;
+
+  // Greedy chain: start from the net with the most sensitive partners (hard
+  // to place later), then repeatedly append the unplaced net that is NOT
+  // sensitive to the chain's tail, preferring the one with most remaining
+  // sensitive partners (most constrained first).
+  std::vector<int> partners(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (instance.sensitive(i, j)) ++partners[i];
+    }
+  }
+  std::vector<char> placed(n, 0);
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (partners[i] > partners[start]) start = i;
+  }
+  out.slots.push_back(static_cast<ktable::Slot>(start));
+  placed[start] = 1;
+
+  for (std::size_t step = 1; step < n; ++step) {
+    const auto tail = static_cast<std::size_t>(out.slots.back());
+    std::ptrdiff_t best = -1;
+    bool best_ok = false;
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      if (placed[cand]) continue;
+      const bool ok = !instance.sensitive(tail, cand);
+      if (best < 0 || (ok && !best_ok) ||
+          (ok == best_ok &&
+           partners[cand] > partners[static_cast<std::size_t>(best)])) {
+        best = static_cast<std::ptrdiff_t>(cand);
+        best_ok = ok;
+      }
+    }
+    out.slots.push_back(static_cast<ktable::Slot>(best));
+    placed[static_cast<std::size_t>(best)] = 1;
+  }
+
+  // Pairwise swap improvement until no swap reduces the adjacency count.
+  int current = count_adjacent_sensitive(out.slots, instance);
+  bool improved = current > 0;
+  while (improved) {
+    improved = false;
+    for (std::size_t a = 0; a < n && current > 0; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        std::swap(out.slots[a], out.slots[b]);
+        const int trial = count_adjacent_sensitive(out.slots, instance);
+        if (trial < current) {
+          current = trial;
+          improved = true;
+        } else {
+          std::swap(out.slots[a], out.slots[b]);
+        }
+      }
+    }
+  }
+  out.adjacent_sensitive_pairs = current;
+  return out;
+}
+
+}  // namespace rlcr::sino

@@ -1,0 +1,21 @@
+// Net ordering without shields (the "NO" in the ID+NO baseline).
+//
+// Orders the region's nets on consecutive tracks to minimize the number of
+// capacitively adjacent sensitive pairs — all a router can do against
+// crosstalk without spending shield area. Greedy chain construction plus a
+// pairwise-swap improvement pass.
+#pragma once
+
+#include "sino/evaluator.h"
+
+namespace rlcr::sino {
+
+struct NetOrderResult {
+  SlotVec slots;                  ///< a permutation of net indices, no shields
+  int adjacent_sensitive_pairs = 0;
+};
+
+NetOrderResult solve_net_order(const SinoInstance& instance,
+                               const ktable::KeffModel& keff);
+
+}  // namespace rlcr::sino

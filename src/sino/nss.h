@@ -1,0 +1,80 @@
+// Shield-count estimation: the paper's Eq. (3).
+//
+// During Phase I routing no SINO solutions exist yet, but the ID weight
+// function must already account for the shield area each region will need.
+// Eq. (3) estimates the min-area SINO shield count Nss of a region from
+// aggregate statistics of the nets in it:
+//
+//   Nss = a1 * sum(Si^2) + a2 * (1/Nns) * sum(Si^2)
+//       + a3 * sum(Si)   + a4 * (1/Nns) * sum(Si)
+//       + a5 * Nns       + a6
+//
+// The coefficients live in the paper's technical report; here they are fit
+// by least squares against min-area SINO solutions sampled over a range of
+// net counts and sensitivity rates (the same procedure the TR describes),
+// and the default coefficients ship from such a run. `bench_nss_model`
+// validates the paper's <=10% accuracy claim against fresh solutions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ktable/keff.h"
+#include "sino/instance.h"
+
+namespace rlcr::sino {
+
+struct NssCoefficients {
+  // a1..a6 in the order of Eq. (3).
+  std::array<double, 6> a{0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+};
+
+class NssModel {
+ public:
+  NssModel() : NssModel(default_coefficients()) {}
+  explicit NssModel(const NssCoefficients& c) : c_(c) {}
+
+  const NssCoefficients& coefficients() const { return c_; }
+
+  /// Eq. (3) from aggregate statistics; clamped at >= 0, and exactly 0 for
+  /// an empty region.
+  double estimate(double nns, double sum_si, double sum_si2) const;
+
+  /// Convenience over an instance.
+  double estimate(const SinoInstance& instance) const;
+
+  /// Coefficients from the shipped calibration run.
+  static NssCoefficients default_coefficients();
+
+ private:
+  NssCoefficients c_;
+};
+
+/// Options for re-fitting the coefficients against min-area SINO solutions.
+struct NssFitOptions {
+  int samples = 300;
+  int min_nets = 2;
+  int max_nets = 22;
+  double min_rate = 0.10;
+  double max_rate = 0.70;
+  double min_kth = 0.8;
+  double max_kth = 4.0;
+  int anneal_iterations = 4000;
+  std::uint64_t seed = 42;
+};
+
+struct NssFitReport {
+  NssCoefficients coefficients;
+  double mean_abs_error = 0.0;   ///< tracks
+  double max_abs_error = 0.0;    ///< tracks
+  double mean_rel_error = 0.0;   ///< vs max(1, true Nss)
+  double max_rel_error = 0.0;
+  int samples = 0;
+};
+
+/// Sample random instances, solve min-area SINO (greedy + annealing), and
+/// fit Eq. (3) by least squares. Deterministic in options.seed.
+NssFitReport fit_nss(const ktable::KeffModel& keff,
+                     const NssFitOptions& options = {});
+
+}  // namespace rlcr::sino

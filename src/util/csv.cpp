@@ -1,0 +1,39 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rlcr::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    const bool needs_quote = cells[i].find_first_of(",\"\n") != std::string::npos;
+    if (needs_quote) {
+      out_ << '"';
+      for (char ch : cells[i]) {
+        if (ch == '"') out_ << '"';
+        out_ << ch;
+      }
+      out_ << '"';
+    } else {
+      out_ << cells[i];
+    }
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) oss << ',';
+    oss << cells[i];
+  }
+  out_ << oss.str() << '\n';
+}
+
+}  // namespace rlcr::util

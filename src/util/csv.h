@@ -1,0 +1,24 @@
+// Minimal CSV writer: experiments optionally dump their raw series so that
+// plots can be regenerated outside the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rlcr::util {
+
+/// Writes rows of cells to a CSV file; quotes cells containing commas.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace rlcr::util

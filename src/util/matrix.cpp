@@ -1,0 +1,137 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcr::util {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::add_scaled(const Matrix& other, double a) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * other.data_[i];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  if (cols_ != v.size()) {
+    throw std::invalid_argument("Matrix::operator*: vector size mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+LuFactor::LuFactor(Matrix a, double pivot_rtol) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) {
+    throw std::invalid_argument("LuFactor: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  double max_entry = 0.0;
+  for (double v : lu_.data()) max_entry = std::max(max_entry, std::abs(v));
+  const double pivot_tol = std::max(pivot_rtol * max_entry, 1e-300);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: pick the largest magnitude entry in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < pivot_tol) {
+      throw std::runtime_error("LuFactor: matrix is singular to tolerance");
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> LuFactor::solve(const std::vector<double>& b) const {
+  std::vector<double> x(b);
+  solve_in_place(x);
+  return x;
+}
+
+void LuFactor::solve_in_place(std::vector<double>& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuFactor::solve: size mismatch");
+  }
+  // Apply permutation.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
+    y[ii] = acc / lu_(ii, ii);
+  }
+  b = std::move(y);
+}
+
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b,
+                                  double ridge) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("least_squares: row/vector mismatch");
+  }
+  const Matrix at = a.transposed();
+  Matrix ata = at * a;
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
+  const std::vector<double> atb = at * b;
+  return LuFactor(std::move(ata)).solve(atb);
+}
+
+}  // namespace rlcr::util

@@ -1,0 +1,75 @@
+// Dense linear algebra: matrices, LU factorization, linear solves, and
+// least-squares fitting. Sized for the needs of this library (MNA systems of
+// a few hundred unknowns, regression designs of a few columns); no attempt
+// at cache blocking or SIMD is made.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlcr::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// In-place add `a * other` (same shape required).
+  void add_scaled(const Matrix& other, double a);
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting, reusable across many right-hand
+/// sides (the transient simulator factors once per timestep size and
+/// back-substitutes thousands of times).
+class LuFactor {
+ public:
+  /// Factor a square matrix. Throws std::runtime_error if singular: a pivot
+  /// column's best magnitude falls below `pivot_rtol` times the largest
+  /// magnitude entry of the input matrix (relative test — MNA matrices mix
+  /// femtofarad and kilo-ohm scales, so an absolute test would misfire).
+  explicit LuFactor(Matrix a, double pivot_rtol = 1e-16);
+
+  std::size_t dim() const noexcept { return lu_.rows(); }
+
+  /// Solve A x = b; returns x.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve in place to avoid allocation in hot loops.
+  void solve_in_place(std::vector<double>& b) const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Ordinary least squares: minimize ||A x - b||_2 via normal equations with
+/// a small ridge term for numerical safety. A has shape (m, n), m >= n.
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b,
+                                  double ridge = 1e-9);
+
+}  // namespace rlcr::util

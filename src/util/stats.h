@@ -1,0 +1,42 @@
+// Descriptive statistics, correlation, and simple regression used by the
+// model-fitting code (LSK table regression, Nss coefficient fitting) and by
+// the experiment harnesses when validating model fidelity claims.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlcr::util {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  ///< population variance
+double stddev(const std::vector<double>& v);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// Linear interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns 0 when either sample is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (ties get average ranks). The LSK fidelity
+/// claim is a rank statement ("higher Ki implies higher noise"), so rank
+/// correlation is the right check.
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Result of a simple linear regression y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares line through (x, y) points.
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fractional ranks with average-tie handling; helper exposed for tests.
+std::vector<double> ranks(const std::vector<double>& v);
+
+}  // namespace rlcr::util

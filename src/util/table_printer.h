@@ -1,0 +1,48 @@
+// ASCII table rendering for experiment reports: the bench harnesses print
+// the same rows the paper's tables report, so output readability matters.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlcr::util {
+
+/// Column-aligned text table with a header row and optional title.
+///
+/// Usage:
+///   TablePrinter t("Table 1: ...");
+///   t.set_header({"circuit", "nets", "violations"});
+///   t.add_row({"ibm01", "13056", "1907 (14.6%)"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_separator();
+
+  /// Render with single-space-padded columns and '-' rules.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers shared by report code.
+std::string fmt_double(double v, int decimals);
+std::string fmt_percent(double fraction, int decimals = 2);  ///< 0.146 -> "14.60%"
+std::string fmt_int(long long v);
+
+}  // namespace rlcr::util

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/bus.h"
+#include "circuit/circuit.h"
+#include "circuit/extract.h"
+#include "circuit/transient.h"
+
+namespace rlcr::circuit {
+namespace {
+
+TEST(Pwl, InterpolatesAndClamps) {
+  const Pwl ramp = Pwl::ramp(1.0, 10e-12, 20e-12);
+  EXPECT_DOUBLE_EQ(ramp.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ramp.at(10e-12), 0.0);
+  EXPECT_NEAR(ramp.at(20e-12), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(ramp.at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Pwl::flat(0.7).at(0.5), 0.7);
+}
+
+TEST(Circuit, ValidatesElements) {
+  Circuit c;
+  const NodeId n1 = c.new_node();
+  EXPECT_THROW(c.add_resistor(n1, 99, 10.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor(n1, kGround, -1.0), std::invalid_argument);
+  EXPECT_THROW(c.add_inductor(n1, kGround, 0.0), std::invalid_argument);
+  c.add_capacitor(n1, kGround, 0.0);  // zero cap allowed, just dropped
+  EXPECT_TRUE(c.capacitors().empty());
+  const std::size_t l0 = c.add_inductor(n1, kGround, 1e-9);
+  EXPECT_THROW(c.add_mutual(l0, l0, 0.5), std::invalid_argument);
+  EXPECT_THROW(c.add_mutual(l0, 5, 0.5), std::invalid_argument);
+}
+
+// --------------------------------------------------- analytic benchmarks
+
+TEST(Transient, RcChargingMatchesClosedForm) {
+  // V -R- n1 -C- gnd: v(t) = V (1 - exp(-t / RC)).
+  Circuit c;
+  const NodeId n_in = c.new_node();
+  const NodeId n_out = c.new_node();
+  const double r = 1000.0, cap = 1e-12;  // tau = 1 ns
+  c.add_vsource(n_in, kGround, Pwl::flat(1.0));
+  c.add_resistor(n_in, n_out, r);
+  c.add_capacitor(n_out, kGround, cap);
+
+  TransientOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 1e-12;
+  const TransientResult res = simulate(c, {n_out}, opt);
+
+  // NOTE: the source jumps to 1 V at t = 0 (flat), so from the quiescent
+  // initial state the response is the standard charging curve.
+  const double tau = r * cap;
+  for (std::size_t i = 10; i < res.time.size(); i += 200) {
+    const double expected = 1.0 - std::exp(-res.time[i] / tau);
+    EXPECT_NEAR(res.volts[0][i], expected, 0.02) << "t=" << res.time[i];
+  }
+}
+
+TEST(Transient, ResistiveDividerSettles) {
+  Circuit c;
+  const NodeId n_in = c.new_node();
+  const NodeId n_mid = c.new_node();
+  c.add_vsource(n_in, kGround, Pwl::ramp(2.0, 0.0, 1e-12));
+  c.add_resistor(n_in, n_mid, 300.0);
+  c.add_resistor(n_mid, kGround, 100.0);
+  // A tiny capacitor keeps the MNA storage matrix non-trivial.
+  c.add_capacitor(n_mid, kGround, 1e-16);
+  TransientOptions opt;
+  opt.t_stop = 50e-12;
+  opt.dt = 0.1e-12;
+  const TransientResult res = simulate(c, {n_mid}, opt);
+  EXPECT_NEAR(res.volts[0].back(), 2.0 * 100.0 / 400.0, 1e-3);
+}
+
+TEST(Transient, LcOscillationFrequency) {
+  // Series L-C from a charged step: resonance at f = 1 / (2 pi sqrt(LC)).
+  Circuit c;
+  const NodeId n_in = c.new_node();
+  const NodeId n_mid = c.new_node();
+  const double l = 1e-9, cap = 1e-12;  // f ~ 5.03 GHz
+  c.add_vsource(n_in, kGround, Pwl::flat(1.0));
+  c.add_inductor(n_in, n_mid, l);
+  c.add_capacitor(n_mid, kGround, cap);
+  TransientOptions opt;
+  opt.t_stop = 2e-9;
+  opt.dt = 0.2e-12;
+  const TransientResult res = simulate(c, {n_mid}, opt);
+
+  // Count zero crossings of (v - 1) to estimate the period.
+  int crossings = 0;
+  for (std::size_t i = 1; i < res.volts[0].size(); ++i) {
+    if ((res.volts[0][i - 1] - 1.0) * (res.volts[0][i] - 1.0) < 0.0) ++crossings;
+  }
+  const double period_est = 2.0 * opt.t_stop / crossings;
+  const double period_true = 2.0 * 3.14159265358979 * std::sqrt(l * cap);
+  EXPECT_NEAR(period_est, period_true, period_true * 0.05);
+}
+
+TEST(Transient, TrapezoidalConservesLcAmplitude) {
+  // Undamped LC must not decay (trapezoidal is non-dissipative): the late
+  // peak matches the early peak.
+  Circuit c;
+  const NodeId n_in = c.new_node();
+  const NodeId n_mid = c.new_node();
+  c.add_vsource(n_in, kGround, Pwl::flat(1.0));
+  c.add_inductor(n_in, n_mid, 1e-9);
+  c.add_capacitor(n_mid, kGround, 1e-12);
+  TransientOptions opt;
+  opt.t_stop = 4e-9;
+  opt.dt = 0.2e-12;
+  const TransientResult res = simulate(c, {n_mid}, opt);
+  double early_peak = 0.0, late_peak = 0.0;
+  const std::size_t half = res.volts[0].size() / 2;
+  for (std::size_t i = 0; i < half; ++i)
+    early_peak = std::max(early_peak, res.volts[0][i]);
+  for (std::size_t i = half; i < res.volts[0].size(); ++i)
+    late_peak = std::max(late_peak, res.volts[0][i]);
+  EXPECT_NEAR(late_peak, early_peak, 0.02);
+}
+
+TEST(Transient, EmptyCircuitThrows) {
+  const Circuit c;
+  EXPECT_THROW(simulate(c, {}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- extraction
+
+TEST(Extractor, ResistanceScalesWithLength) {
+  const Extractor ex{Technology{}};
+  const double r1 = ex.resistance(100.0);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_NEAR(ex.resistance(200.0), 2.0 * r1, 1e-9);
+}
+
+TEST(Extractor, CapacitancePositiveAndLinearInLength) {
+  const Extractor ex{Technology{}};
+  EXPECT_GT(ex.ground_capacitance(100.0), 0.0);
+  EXPECT_NEAR(ex.ground_capacitance(200.0), 2.0 * ex.ground_capacitance(100.0),
+              1e-20);
+  EXPECT_GT(ex.coupling_capacitance(100.0, 1), 0.0);
+}
+
+TEST(Extractor, CouplingCapFallsWithSeparation) {
+  const Extractor ex{Technology{}};
+  const double c1 = ex.coupling_capacitance(100.0, 1);
+  const double c2 = ex.coupling_capacitance(100.0, 2);
+  const double c4 = ex.coupling_capacitance(100.0, 4);
+  EXPECT_GT(c1, c2);
+  EXPECT_GT(c2, c4);
+  EXPECT_DOUBLE_EQ(ex.coupling_capacitance(100.0, 0), 0.0);
+}
+
+TEST(Extractor, InductanceGrowsSuperlinearlyWithLength) {
+  const Extractor ex{Technology{}};
+  const double l1 = ex.self_inductance(100.0);
+  const double l2 = ex.self_inductance(200.0);
+  EXPECT_GT(l2, 2.0 * l1);  // the log term grows with length
+}
+
+TEST(Extractor, MutualBelowSelfAndDecaysWithDistance) {
+  const Extractor ex{Technology{}};
+  const double self = ex.self_inductance(1000.0);
+  const double m1 = ex.mutual_inductance(1000.0, 1.0);
+  const double m10 = ex.mutual_inductance(1000.0, 10.0);
+  EXPECT_LT(m1, self);
+  EXPECT_GT(m1, m10);
+  EXPECT_GT(m10, 0.0);
+}
+
+TEST(Extractor, CouplingCoefficientInUnitRange) {
+  const Extractor ex{Technology{}};
+  for (int d = 1; d <= 32; d *= 2) {
+    const double k = ex.coupling_coefficient(1000.0, d);
+    EXPECT_GT(k, 0.0);
+    EXPECT_LT(k, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(ex.coupling_coefficient(1000.0, 0), 0.0);
+}
+
+// ----------------------------------------------------------------- bus
+
+BusSpec pair_bus(double length_um) {
+  BusSpec s;
+  s.tracks.assign(3, {});
+  s.tracks[0] = {TrackKind::kSignal, true};
+  s.tracks[1] = {TrackKind::kSignal, false};
+  s.tracks[2] = {TrackKind::kEmpty, false};
+  s.victim = 1;
+  s.length_um = length_um;
+  return s;
+}
+
+TEST(Bus, AggressorInducesNoise) {
+  const double v = simulate_victim_noise(pair_bus(800.0), Technology{});
+  EXPECT_GT(v, 0.01);
+  EXPECT_LT(v, 1.05);
+}
+
+TEST(Bus, NoiseGrowsWithLength) {
+  const Technology tech;
+  const double v_short = simulate_victim_noise(pair_bus(200.0), tech);
+  const double v_long = simulate_victim_noise(pair_bus(800.0), tech);
+  EXPECT_GT(v_long, v_short);
+}
+
+TEST(Bus, ShieldReducesNoise) {
+  const Technology tech;
+  BusSpec shielded;
+  shielded.tracks.assign(3, {});
+  shielded.tracks[0] = {TrackKind::kSignal, true};
+  shielded.tracks[1] = {TrackKind::kShield, false};
+  shielded.tracks[2] = {TrackKind::kSignal, false};
+  shielded.victim = 2;
+  shielded.length_um = 800.0;
+
+  BusSpec bare = shielded;
+  bare.tracks[1] = {TrackKind::kEmpty, false};
+
+  const double v_shielded = simulate_victim_noise(shielded, tech);
+  const double v_bare = simulate_victim_noise(bare, tech);
+  EXPECT_LT(v_shielded, 0.6 * v_bare);
+}
+
+TEST(Bus, FartherAggressorCouplesLess) {
+  const Technology tech;
+  auto at_distance = [&](int d) {
+    BusSpec s;
+    s.tracks.assign(static_cast<std::size_t>(d) + 1, {});
+    s.tracks[0] = {TrackKind::kSignal, false};
+    s.tracks[static_cast<std::size_t>(d)] = {TrackKind::kSignal, true};
+    s.victim = 0;
+    s.length_um = 800.0;
+    return simulate_victim_noise(s, tech);
+  };
+  EXPECT_GT(at_distance(1), at_distance(3));
+  EXPECT_GT(at_distance(3), at_distance(8));
+}
+
+TEST(Bus, TwoAggressorsWorseThanOne) {
+  const Technology tech;
+  BusSpec two;
+  two.tracks.assign(3, {});
+  two.tracks[0] = {TrackKind::kSignal, true};
+  two.tracks[1] = {TrackKind::kSignal, false};
+  two.tracks[2] = {TrackKind::kSignal, true};
+  two.victim = 1;
+  two.length_um = 600.0;
+  const double v_two = simulate_victim_noise(two, tech);
+  const double v_one = simulate_victim_noise(pair_bus(600.0), tech);
+  EXPECT_GT(v_two, v_one);
+}
+
+TEST(Bus, RejectsMalformedSpecs) {
+  const Technology tech;
+  BusSpec s = pair_bus(500.0);
+  s.victim = 7;
+  EXPECT_THROW(simulate_victim_noise(s, tech), std::invalid_argument);
+  s = pair_bus(500.0);
+  s.victim = 0;  // aggressor, not a quiet signal
+  EXPECT_THROW(simulate_victim_noise(s, tech), std::invalid_argument);
+  s = pair_bus(500.0);
+  s.segments = 0;
+  EXPECT_THROW(simulate_victim_noise(s, tech), std::invalid_argument);
+  s = pair_bus(-1.0);
+  EXPECT_THROW(simulate_victim_noise(s, tech), std::invalid_argument);
+}
+
+class BusLengthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BusLengthSweep, NoiseIsPhysicalAtEveryLength) {
+  const double v = simulate_victim_noise(pair_bus(GetParam()), Technology{});
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.05);  // below the rail
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BusLengthSweep,
+                         ::testing::Values(100.0, 250.0, 500.0, 1000.0, 2000.0));
+
+}  // namespace
+}  // namespace rlcr::circuit

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/budget.h"
+#include "core/experiment.h"
+#include "core/flow.h"
+#include "core/metrics.h"
+#include "core/paths.h"
+#include "core/problem.h"
+
+namespace rlcr::gsino {
+namespace {
+
+GsinoParams fast_params() {
+  GsinoParams p;
+  p.lr_max_outer_pass1 = 500;
+  p.lr_max_outer_pass2 = 500;
+  return p;
+}
+
+RoutingProblem tiny_problem(double rate = 0.3, std::uint64_t seed = 7) {
+  static netlist::SyntheticSpec spec = netlist::tiny_spec(180, 7);
+  static netlist::Netlist design = netlist::generate(spec);
+  GsinoParams p = fast_params();
+  p.sensitivity_rate = rate;
+  p.seed = seed;
+  return make_problem(design, spec, p);
+}
+
+// --------------------------------------------------------------- budgeter
+
+TEST(Budgeter, MapsBoundThroughTable) {
+  const ktable::LskTable table = ktable::LskTable::from_linear(0.05, 0.01);
+  const CrosstalkBudgeter b(table, 0.15);
+  EXPECT_NEAR(b.lsk_budget(), (0.15 - 0.01) / 0.05, 1e-9);
+  // Kth = budget / Le[mm].
+  EXPECT_NEAR(b.kth_from_length(500.0), b.lsk_budget() / 0.5, 1e-9);
+}
+
+TEST(Budgeter, LongerNetsGetTighterBounds) {
+  const ktable::LskTable table = ktable::LskTable::default_table();
+  const CrosstalkBudgeter b(table, 0.15);
+  EXPECT_GT(b.kth_from_length(200.0), b.kth_from_length(2000.0));
+}
+
+TEST(Budgeter, UniformKthCoversAllNets) {
+  const RoutingProblem p = tiny_problem();
+  const CrosstalkBudgeter b(p.lsk_table(), 0.15);
+  const auto kth = b.uniform_kth(p);
+  ASSERT_EQ(kth.size(), p.net_count());
+  for (double k : kth) EXPECT_GT(k, 0.0);
+}
+
+// ------------------------------------------------------------------ paths
+
+TEST(CriticalPath, TwoPinLShape) {
+  grid::RegionGridSpec gs;
+  gs.cols = 8;
+  gs.rows = 8;
+  gs.region_w_um = 10;
+  gs.region_h_um = 10;
+  const grid::RegionGrid g(gs);
+  router::RouterNet net;
+  net.pins = {{0, 0}, {2, 1}};
+  router::NetRoute route;
+  route.edges = {router::make_edge({0, 0}, {1, 0}),
+                 router::make_edge({1, 0}, {2, 0}),
+                 router::make_edge({2, 0}, {2, 1})};
+  const CriticalPath cp = critical_path(g, net, route);
+  EXPECT_DOUBLE_EQ(cp.length_um, 30.0);
+  // Regions on the path: (0,0) h, (1,0) h, (2,0) h+v, (2,1) v.
+  EXPECT_EQ(cp.refs.size(), 5u);
+}
+
+TEST(CriticalPath, PicksLongestSinkOnTree) {
+  grid::RegionGridSpec gs;
+  gs.cols = 10;
+  gs.rows = 10;
+  gs.region_w_um = 10;
+  gs.region_h_um = 10;
+  const grid::RegionGrid g(gs);
+  router::RouterNet net;
+  net.pins = {{0, 0}, {1, 0}, {5, 0}};  // source + near sink + far sink
+  router::NetRoute route;
+  for (std::int32_t x = 0; x < 5; ++x) {
+    route.edges.push_back(router::make_edge({x, 0}, {x + 1, 0}));
+  }
+  const CriticalPath cp = critical_path(g, net, route);
+  EXPECT_DOUBLE_EQ(cp.length_um, 50.0);  // to the far sink, not the near one
+}
+
+TEST(CriticalPath, BranchesAreExcluded) {
+  grid::RegionGridSpec gs;
+  gs.cols = 10;
+  gs.rows = 10;
+  gs.region_w_um = 10;
+  gs.region_h_um = 10;
+  const grid::RegionGrid g(gs);
+  router::RouterNet net;
+  net.pins = {{0, 0}, {3, 0}, {1, 2}};
+  router::NetRoute route;
+  route.edges = {router::make_edge({0, 0}, {1, 0}),
+                 router::make_edge({1, 0}, {2, 0}),
+                 router::make_edge({2, 0}, {3, 0}),
+                 router::make_edge({1, 0}, {1, 1}),
+                 router::make_edge({1, 1}, {1, 2})};
+  const CriticalPath cp = critical_path(g, net, route);
+  // Critical path is to (3,0) (30 um) or (1,2) (10+20=30)... both 30; the
+  // result must be one of them, not the sum (50).
+  EXPECT_DOUBLE_EQ(cp.length_um, 30.0);
+  double sum = 0.0;
+  for (const auto& r : cp.refs) sum += r.length_um;
+  EXPECT_DOUBLE_EQ(sum, 30.0);
+}
+
+TEST(CriticalPath, EmptyForSingletons) {
+  grid::RegionGridSpec gs;
+  const grid::RegionGrid g(gs);
+  router::RouterNet net;
+  net.pins = {{0, 0}};
+  EXPECT_TRUE(critical_path(g, net, {}).refs.empty());
+}
+
+// ------------------------------------------------------------------ flows
+
+TEST(Flow, IdNoLeavesViolationsButOrdersNets) {
+  const RoutingProblem p = tiny_problem(0.5);
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kIdNo);
+  EXPECT_EQ(fr.name, "ID+NO");
+  // All region solutions are pure permutations (no shields).
+  EXPECT_DOUBLE_EQ(fr.total_shields, 0.0);
+  EXPECT_EQ(fr.net_lsk.size(), p.net_count());
+}
+
+TEST(Flow, IsinoEliminatesAllViolations) {
+  const RoutingProblem p = tiny_problem(0.5);
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kIsino);
+  EXPECT_EQ(fr.violating, 0u);
+}
+
+TEST(Flow, GsinoEliminatesAllViolations) {
+  const RoutingProblem p = tiny_problem(0.5);
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kGsino);
+  EXPECT_EQ(fr.violating, 0u);
+  EXPECT_EQ(fr.unfixable, 0u);
+}
+
+TEST(Flow, SolutionsSatisfySinoConstraints) {
+  const RoutingProblem p = tiny_problem(0.4);
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kIsino);
+  for (const RegionSolution& sol : fr.solutions) {
+    if (sol.empty()) continue;
+    const sino::SinoEvaluator eval(sol.instance, p.keff());
+    const sino::SinoCheck c = eval.check(sol.slots);
+    EXPECT_TRUE(c.placed_all);
+    EXPECT_EQ(c.capacitive_violations, 0);
+    EXPECT_EQ(c.inductive_violations, 0);
+  }
+}
+
+TEST(Flow, LskAccountingIsConsistent) {
+  // net_lsk must equal the sum over solutions of path_len * ki.
+  const RoutingProblem p = tiny_problem(0.4);
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kGsino);
+  std::vector<double> recomputed(p.net_count(), 0.0);
+  for (const RegionSolution& sol : fr.solutions) {
+    for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+      recomputed[sol.net_index[i]] += sol.path_len_mm[i] * sol.ki[i];
+    }
+  }
+  for (std::size_t n = 0; n < p.net_count(); ++n) {
+    EXPECT_NEAR(recomputed[n], fr.net_lsk[n], 1e-9) << "net " << n;
+  }
+}
+
+TEST(Flow, CongestionSegmentsMatchOccupancy) {
+  const RoutingProblem p = tiny_problem();
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kIdNo);
+  for (std::size_t r = 0; r < p.grid().region_count(); ++r) {
+    for (grid::Dir d : grid::kBothDirs) {
+      EXPECT_DOUBLE_EQ(
+          fr.congestion->segments(r, d),
+          static_cast<double>(fr.occupancy->segments(r, d).size()));
+    }
+  }
+}
+
+TEST(Flow, WirelengthAggregatesAreCoherent) {
+  const RoutingProblem p = tiny_problem();
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kIdNo);
+  EXPECT_NEAR(fr.avg_wirelength_um * static_cast<double>(p.net_count()),
+              fr.total_wirelength_um, 1e-6);
+  EXPECT_GT(fr.area.width_um, 0.0);
+  EXPECT_GT(fr.area.height_um, 0.0);
+}
+
+TEST(Flow, DeterministicAcrossRuns) {
+  const RoutingProblem p = tiny_problem();
+  const FlowResult a = FlowRunner(p).run(FlowKind::kGsino);
+  const FlowResult b = FlowRunner(p).run(FlowKind::kGsino);
+  EXPECT_EQ(a.violating, b.violating);
+  EXPECT_DOUBLE_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  EXPECT_DOUBLE_EQ(a.total_shields, b.total_shields);
+  EXPECT_DOUBLE_EQ(a.area.width_um, b.area.width_um);
+}
+
+TEST(Flow, FlowNames) {
+  EXPECT_STREQ(flow_name(FlowKind::kIdNo), "ID+NO");
+  EXPECT_STREQ(flow_name(FlowKind::kIsino), "iSINO");
+  EXPECT_STREQ(flow_name(FlowKind::kGsino), "GSINO");
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, SummarizeCopiesFields) {
+  const RoutingProblem p = tiny_problem();
+  const FlowResult fr = FlowRunner(p).run(FlowKind::kIdNo);
+  const FlowSummary s = summarize(fr, p);
+  EXPECT_EQ(s.name, "ID+NO");
+  EXPECT_EQ(s.total_nets, p.net_count());
+  EXPECT_EQ(s.violating, fr.violating);
+  EXPECT_DOUBLE_EQ(s.avg_wirelength_um, fr.avg_wirelength_um);
+  EXPECT_DOUBLE_EQ(s.area_um2(), fr.area.width_um * fr.area.height_um);
+}
+
+std::vector<CircuitRun> fake_runs() {
+  std::vector<CircuitRun> runs;
+  for (double rate : {0.30, 0.50}) {
+    CircuitRun r;
+    r.circuit = "fake01";
+    r.rate = rate;
+    r.total_nets = 1000;
+    r.idno.name = "ID+NO";
+    r.idno.total_nets = 1000;
+    r.idno.violating = rate == 0.30 ? 150 : 220;
+    r.idno.avg_wirelength_um = 640.0;
+    r.idno.area_width_um = 1500.0;
+    r.idno.area_height_um = 1800.0;
+    r.gsino = r.idno;
+    r.gsino.name = "GSINO";
+    r.gsino.violating = 0;
+    r.gsino.avg_wirelength_um = 680.0;
+    r.gsino.area_width_um = 1580.0;
+    r.isino = r.gsino;
+    r.isino.name = "iSINO";
+    r.isino.area_width_um = 1700.0;
+    r.has_isino = r.has_gsino = true;
+    runs.push_back(r);
+  }
+  return runs;
+}
+
+TEST(Metrics, Table1RendersBothRates) {
+  const auto t = render_table1(fake_runs());
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("fake01"), std::string::npos);
+  EXPECT_NE(s.find("150"), std::string::npos);
+  EXPECT_NE(s.find("15.00%"), std::string::npos);
+  EXPECT_NE(s.find("220"), std::string::npos);
+}
+
+TEST(Metrics, Table2ShowsOverhead) {
+  const std::string s = render_table2(fake_runs()).to_string();
+  EXPECT_NE(s.find("640"), std::string::npos);
+  EXPECT_NE(s.find("680"), std::string::npos);
+  EXPECT_NE(s.find("6.25%"), std::string::npos);  // 680/640 - 1
+}
+
+TEST(Metrics, Table3ShowsAreas) {
+  const std::string s = render_table3(fake_runs()).to_string();
+  EXPECT_NE(s.find("1500 x 1800"), std::string::npos);
+  EXPECT_NE(s.find("1700 x 1800"), std::string::npos);
+}
+
+// -------------------------------------------------------------- experiment
+
+TEST(Experiment, RunOneProducesAllFlows) {
+  netlist::SyntheticSpec spec = netlist::tiny_spec(120, 3);
+  const CircuitRun run =
+      ExperimentRunner::run_one(spec, 0.3, fast_params(), true, true);
+  EXPECT_EQ(run.circuit, "tiny");
+  EXPECT_EQ(run.total_nets, 120u);
+  EXPECT_TRUE(run.has_isino);
+  EXPECT_TRUE(run.has_gsino);
+  EXPECT_EQ(run.isino.violating, 0u);
+  EXPECT_EQ(run.gsino.violating, 0u);
+}
+
+TEST(Experiment, ScaleFromEnvParsesAndClamps) {
+  ::unsetenv("RLCROUTE_SCALE");
+  EXPECT_DOUBLE_EQ(scale_from_env(0.5), 0.5);
+  ::setenv("RLCROUTE_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(0.5), 0.25);
+  ::setenv("RLCROUTE_SCALE", "junk", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(0.5), 0.5);
+  ::setenv("RLCROUTE_SCALE", "-1", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(0.5), 0.5);
+  ::unsetenv("RLCROUTE_SCALE");
+}
+
+}  // namespace
+}  // namespace rlcr::gsino

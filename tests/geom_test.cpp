@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rlcr::geom {
+namespace {
+
+TEST(Point, ManhattanGrid) {
+  EXPECT_EQ(manhattan(Point{0, 0}, Point{0, 0}), 0);
+  EXPECT_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7);
+  EXPECT_EQ(manhattan(Point{-2, 5}, Point{1, -1}), 9);
+}
+
+TEST(Point, ManhattanContinuous) {
+  EXPECT_DOUBLE_EQ(manhattan(PointF{0.0, 0.0}, PointF{1.5, 2.5}), 4.0);
+}
+
+TEST(Point, OrderingIsLexicographic) {
+  EXPECT_LT((Point{0, 1}), (Point{1, 0}));
+  EXPECT_LT((Point{1, 0}), (Point{1, 2}));
+}
+
+TEST(Point, HashDistributesDistinctPoints) {
+  std::unordered_set<Point> s;
+  for (int x = 0; x < 50; ++x)
+    for (int y = 0; y < 50; ++y) s.insert(Point{x, y});
+  EXPECT_EQ(s.size(), 2500u);
+}
+
+TEST(Rect, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.cell_count(), 0);
+  EXPECT_FALSE(r.contains(Point{0, 0}));
+}
+
+TEST(Rect, ExpandGrowsToCover) {
+  Rect r;
+  r.expand(Point{2, 3});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.cell_count(), 1);
+  r.expand(Point{-1, 5});
+  EXPECT_TRUE(r.contains(Point{0, 4}));
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 3);
+}
+
+TEST(Rect, HalfPerimeter) {
+  Rect r;
+  r.expand(Point{0, 0});
+  EXPECT_EQ(r.half_perimeter(), 0);
+  r.expand(Point{3, 4});
+  EXPECT_EQ(r.half_perimeter(), 7);
+}
+
+TEST(Rect, InflatedClampsToGrid) {
+  Rect r;
+  r.expand(Point{0, 0});
+  r.expand(Point{2, 2});
+  const Rect g = r.inflated(3, 4, 5);
+  EXPECT_EQ(g.lo, (Point{0, 0}));
+  EXPECT_EQ(g.hi, (Point{3, 4}));
+}
+
+TEST(RectF, ExpandAndHalfPerimeter) {
+  RectF r;
+  EXPECT_TRUE(r.empty());
+  r.expand(PointF{1.0, 2.0});
+  r.expand(PointF{4.0, 6.0});
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.half_perimeter(), 7.0);
+}
+
+}  // namespace
+}  // namespace rlcr::geom

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/ispd98.h"
+
+namespace rlcr::netlist {
+namespace {
+
+constexpr const char* kSampleNet =
+    "0\n"
+    " 7\n"
+    " 2\n"
+    " 5\n"
+    " 1\n"
+    "a0 s\n"
+    "a1 l\n"
+    "p0 l\n"
+    "a2 s\n"
+    "a0 l\n"
+    "a3 l\n"
+    "p1 l\n";
+
+TEST(Ispd98, ParsesSampleNetlist) {
+  std::istringstream in(kSampleNet);
+  Netlist nl;
+  const Ispd98Parser parser;
+  const Ispd98Stats stats = parser.parse_net(in, nl);
+
+  EXPECT_EQ(stats.declared_pins, 7u);
+  EXPECT_EQ(stats.declared_nets, 2u);
+  EXPECT_EQ(stats.declared_modules, 5u);
+  EXPECT_EQ(stats.parsed_pins, 7u);
+  EXPECT_EQ(stats.parsed_nets, 2u);
+  EXPECT_EQ(nl.net_count(), 2u);
+  EXPECT_EQ(nl.cell_count(), 6u);  // a0..a3, p0, p1
+
+  // First net: a0 (source), a1, p0.
+  EXPECT_EQ(nl.net(0).pins.size(), 3u);
+  EXPECT_EQ(nl.cell(nl.net(0).pins[0].cell).name, "a0");
+  // Second net: a2 (source), a0, a3, p1 — a0 is shared between nets.
+  EXPECT_EQ(nl.net(1).pins.size(), 4u);
+  EXPECT_EQ(nl.cell(nl.net(1).pins[1].cell).name, "a0");
+}
+
+TEST(Ispd98, PadDetectionByPrefix) {
+  std::istringstream in(kSampleNet);
+  Netlist nl;
+  Ispd98Parser().parse_net(in, nl);
+  int pads = 0;
+  for (const Cell& c : nl.cells()) pads += c.is_pad;
+  EXPECT_EQ(pads, 2);
+}
+
+TEST(Ispd98, HandlesCrLfAndBlankLines) {
+  std::istringstream in("0\r\n3\r\n1\r\n2\r\n0\r\n\r\na0 s\r\na1 l\r\na0 l\r\n");
+  Netlist nl;
+  const auto stats = Ispd98Parser().parse_net(in, nl);
+  EXPECT_EQ(stats.parsed_nets, 1u);
+  EXPECT_EQ(stats.parsed_pins, 3u);
+}
+
+TEST(Ispd98, ContinuationBeforeStartThrows) {
+  std::istringstream in("0\n1\n1\n1\n0\na0 l\n");
+  Netlist nl;
+  EXPECT_THROW(Ispd98Parser().parse_net(in, nl), std::runtime_error);
+}
+
+TEST(Ispd98, UnknownKindThrows) {
+  std::istringstream in("0\n1\n1\n1\n0\na0 x\n");
+  Netlist nl;
+  EXPECT_THROW(Ispd98Parser().parse_net(in, nl), std::runtime_error);
+}
+
+TEST(Ispd98, EmptyInputThrows) {
+  std::istringstream in("");
+  Netlist nl;
+  EXPECT_THROW(Ispd98Parser().parse_net(in, nl), std::runtime_error);
+}
+
+TEST(Ispd98, BadHeaderCountThrows) {
+  std::istringstream in("0\nnotanumber\n");
+  Netlist nl;
+  EXPECT_THROW(Ispd98Parser().parse_net(in, nl), std::runtime_error);
+}
+
+TEST(Ispd98, AreasAttachToKnownModules) {
+  std::istringstream in(kSampleNet);
+  Netlist nl;
+  Ispd98Parser().parse_net(in, nl);
+
+  std::istringstream areas("a0 12.5\na1 3\nunknown 99\n");
+  const std::size_t matched = Ispd98Parser().parse_areas(areas, nl);
+  EXPECT_EQ(matched, 2u);
+  for (const Cell& c : nl.cells()) {
+    if (c.name == "a0") EXPECT_DOUBLE_EQ(c.area_um2, 12.5);
+    if (c.name == "a1") EXPECT_DOUBLE_EQ(c.area_um2, 3.0);
+  }
+}
+
+TEST(Ispd98, LoadMissingFileThrows) {
+  EXPECT_THROW(Ispd98Parser().load("/nonexistent/file.net"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlcr::netlist

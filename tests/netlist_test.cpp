@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "netlist/sensitivity.h"
+#include "netlist/synthetic.h"
+
+namespace rlcr::netlist {
+namespace {
+
+TEST(Netlist, AddAndQuery) {
+  Netlist nl("t", 100.0, 200.0);
+  const CellId c = nl.add_cell(Cell{"c0", 2.0, {1.0, 2.0}, false, true});
+  Net n;
+  n.name = "n0";
+  n.pins = {Pin{{0, 0}, c}, Pin{{5, 5}, kNoCell}};
+  nl.add_net(std::move(n));
+  EXPECT_EQ(nl.cell_count(), 1u);
+  EXPECT_EQ(nl.net_count(), 1u);
+  EXPECT_EQ(nl.width_um(), 100.0);
+  EXPECT_TRUE(nl.net(0).routable());
+  EXPECT_EQ(nl.net(0).sink_count(), 1u);
+}
+
+TEST(Netlist, MaterializePinsCopiesCellPositions) {
+  Netlist nl("t", 10, 10);
+  const CellId c = nl.add_cell(Cell{"c", 1.0, {3.0, 4.0}, false, true});
+  Net n;
+  n.pins = {Pin{{0, 0}, c}, Pin{{9, 9}, kNoCell}};
+  nl.add_net(std::move(n));
+  nl.materialize_pins();
+  EXPECT_DOUBLE_EQ(nl.net(0).pins[0].pos.x, 3.0);
+  EXPECT_DOUBLE_EQ(nl.net(0).pins[0].pos.y, 4.0);
+  // Cell-less pins keep their coordinates.
+  EXPECT_DOUBLE_EQ(nl.net(0).pins[1].pos.x, 9.0);
+}
+
+TEST(Netlist, HpwlOfKnownNet) {
+  Net n;
+  n.pins = {Pin{{0.0, 0.0}, kNoCell}, Pin{{3.0, 4.0}, kNoCell},
+            Pin{{1.0, 6.0}, kNoCell}};
+  EXPECT_DOUBLE_EQ(n.hpwl(), 3.0 + 6.0);
+}
+
+TEST(Netlist, StatsSkipSingletonNets) {
+  Netlist nl("t", 10, 10);
+  Net lonely;
+  lonely.pins = {Pin{{1, 1}, kNoCell}};
+  nl.add_net(std::move(lonely));
+  Net pair;
+  pair.pins = {Pin{{0, 0}, kNoCell}, Pin{{2, 2}, kNoCell}};
+  nl.add_net(std::move(pair));
+  EXPECT_EQ(nl.routable_net_count(), 1u);
+  EXPECT_DOUBLE_EQ(nl.total_hpwl(), 4.0);
+  EXPECT_DOUBLE_EQ(nl.average_degree(), 2.0);
+}
+
+// ------------------------------------------------------------- Synthetic
+
+TEST(Synthetic, GeneratesRequestedNetCount) {
+  SyntheticSpec spec = tiny_spec(150, 1);
+  const Netlist nl = generate(spec);
+  EXPECT_EQ(nl.net_count(), 150u);
+}
+
+TEST(Synthetic, IsDeterministicInSeed) {
+  const SyntheticSpec spec = tiny_spec(100, 9);
+  const Netlist a = generate(spec);
+  const Netlist b = generate(spec);
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (std::size_t i = 0; i < a.net_count(); ++i) {
+    ASSERT_EQ(a.net(static_cast<NetId>(i)).pins.size(),
+              b.net(static_cast<NetId>(i)).pins.size());
+    for (std::size_t p = 0; p < a.net(static_cast<NetId>(i)).pins.size(); ++p) {
+      EXPECT_EQ(a.net(static_cast<NetId>(i)).pins[p].pos,
+                b.net(static_cast<NetId>(i)).pins[p].pos);
+    }
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const Netlist a = generate(tiny_spec(100, 1));
+  const Netlist b = generate(tiny_spec(100, 2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.net_count() && !any_diff; ++i) {
+    if (!(a.net(static_cast<NetId>(i)).pins[0].pos ==
+          b.net(static_cast<NetId>(i)).pins[0].pos)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, PinsStayInsideChip) {
+  const SyntheticSpec spec = tiny_spec(300, 3);
+  const Netlist nl = generate(spec);
+  for (const Net& n : nl.nets()) {
+    for (const Pin& p : n.pins) {
+      EXPECT_GE(p.pos.x, 0.0);
+      EXPECT_LT(p.pos.x, spec.chip_w_um);
+      EXPECT_GE(p.pos.y, 0.0);
+      EXPECT_LT(p.pos.y, spec.chip_h_um);
+    }
+  }
+}
+
+TEST(Synthetic, DegreeDistributionIsHeavyOnTwoPin) {
+  const Netlist nl = generate(tiny_spec(2000, 4));
+  std::size_t two_pin = 0;
+  std::size_t total_pins = 0;
+  for (const Net& n : nl.nets()) {
+    ASSERT_GE(n.pins.size(), 2u);
+    ASSERT_LE(n.pins.size(), 24u);
+    two_pin += (n.pins.size() == 2);
+    total_pins += n.pins.size();
+  }
+  const double frac2 = static_cast<double>(two_pin) / 2000.0;
+  EXPECT_GT(frac2, 0.45);
+  EXPECT_LT(frac2, 0.65);
+  const double avg = static_cast<double>(total_pins) / 2000.0;
+  EXPECT_GT(avg, 2.8);
+  EXPECT_LT(avg, 4.5);
+}
+
+TEST(Synthetic, ScaleShrinksNetCount) {
+  SyntheticSpec spec = tiny_spec(1000, 5);
+  spec.scale = 0.1;
+  EXPECT_EQ(generate(spec).net_count(), 100u);
+}
+
+TEST(Synthetic, IbmSuiteMatchesPublishedStatistics) {
+  const auto suite = ibm_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  // Net counts back-derived from the paper's Table 1.
+  EXPECT_EQ(suite[0].num_nets, 13056u);
+  EXPECT_EQ(suite[4].num_nets, 29647u);
+  // Chip outlines from Table 3's ID+NO row.
+  EXPECT_DOUBLE_EQ(suite[0].chip_w_um, 1533.0);
+  EXPECT_DOUBLE_EQ(suite[0].chip_h_um, 1824.0);
+  EXPECT_DOUBLE_EQ(suite[4].chip_w_um, 9837.0);
+  for (const auto& s : suite) {
+    EXPECT_GT(s.grid_cols, 0);
+    EXPECT_GT(s.grid_rows, 0);
+    EXPECT_GT(s.h_capacity, 0);
+    EXPECT_GT(s.v_capacity, 0);
+  }
+}
+
+// ------------------------------------------------------------ Sensitivity
+
+TEST(Sensitivity, SymmetricAndIrreflexive) {
+  const SensitivityModel m(200, 0.3, 11);
+  for (NetId i = 0; i < 200; ++i) {
+    EXPECT_FALSE(m.sensitive(i, i));
+    for (NetId j = 0; j < 200; j += 17) {
+      EXPECT_EQ(m.sensitive(i, j), m.sensitive(j, i));
+    }
+  }
+}
+
+TEST(Sensitivity, DeterministicInSeed) {
+  const SensitivityModel a(100, 0.3, 5);
+  const SensitivityModel b(100, 0.3, 5);
+  for (NetId i = 0; i < 100; ++i)
+    for (NetId j = 0; j < 100; ++j) EXPECT_EQ(a.sensitive(i, j), b.sensitive(i, j));
+}
+
+TEST(Sensitivity, RealizedRateMatchesNominal) {
+  const double rate = 0.3;
+  const SensitivityModel m(400, rate, 21);
+  std::size_t hits = 0, pairs = 0;
+  for (NetId i = 0; i < 400; ++i) {
+    for (NetId j = static_cast<NetId>(i) + 1; j < 400; ++j) {
+      hits += m.sensitive(i, j);
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / static_cast<double>(pairs), rate, 0.02);
+}
+
+TEST(Sensitivity, PerNetRatePredictsAggressorCount) {
+  // The model promises E[aggressor fraction of net i] = s_i.
+  const SensitivityModel m(600, 0.4, 33);
+  std::vector<NetId> all;
+  for (NetId i = 0; i < 600; ++i) all.push_back(i);
+  for (NetId i = 0; i < 600; i += 97) {
+    const double realized =
+        static_cast<double>(m.aggressor_count(i, all)) / 599.0;
+    EXPECT_NEAR(realized, m.si(i), 0.08) << "net " << i;
+  }
+}
+
+TEST(Sensitivity, ZeroRateMeansNoPairs) {
+  const SensitivityModel m(50, 0.0, 3);
+  for (NetId i = 0; i < 50; ++i)
+    for (NetId j = 0; j < 50; ++j) EXPECT_FALSE(m.sensitive(i, j));
+}
+
+TEST(Sensitivity, SiStaysWithinHeterogeneityBand) {
+  const double rate = 0.3;
+  const SensitivityModel m(1000, rate, 7, 0.5);
+  for (NetId i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.si(i), rate * 0.5 - 1e-12);
+    EXPECT_LE(m.si(i), rate * 1.5 + 1e-12);
+  }
+}
+
+TEST(Sensitivity, OutOfRangeIdsAreInsensitive) {
+  const SensitivityModel m(10, 0.5, 1);
+  EXPECT_FALSE(m.sensitive(-1, 2));
+  EXPECT_FALSE(m.sensitive(2, 100));
+}
+
+class SensitivityRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SensitivityRateSweep, RealizedRateTracksParameter) {
+  const double rate = GetParam();
+  const SensitivityModel m(300, rate, 99);
+  std::size_t hits = 0, pairs = 0;
+  for (NetId i = 0; i < 300; ++i) {
+    for (NetId j = static_cast<NetId>(i) + 1; j < 300; ++j) {
+      hits += m.sensitive(i, j);
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / static_cast<double>(pairs), rate,
+              0.025);
+}
+
+// Rates above ~0.6 are biased slightly low by the min(1, s_i s_j / r) clip
+// in the pairwise probability (heterogeneous weights can exceed the unit
+// bound); the paper evaluates 0.30 and 0.50, well inside the unbiased band.
+INSTANTIATE_TEST_SUITE_P(Rates, SensitivityRateSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6));
+
+}  // namespace
+}  // namespace rlcr::netlist

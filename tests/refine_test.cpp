@@ -1,0 +1,116 @@
+// Focused tests of the Phase III local refiner (the paper's Fig. 2).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/flow.h"
+#include "core/refine.h"
+
+namespace rlcr::gsino {
+namespace {
+
+/// A congested little problem that reliably leaves Phase II with work for
+/// the refiner: high sensitivity, long-ish nets, modest capacity.
+struct Fixture {
+  netlist::SyntheticSpec spec;
+  netlist::Netlist design;
+  GsinoParams params;
+
+  Fixture() : spec(netlist::tiny_spec(500, 77)) {
+    spec.grid_cols = 14;
+    spec.grid_rows = 14;
+    spec.chip_w_um = 700.0;
+    spec.chip_h_um = 700.0;
+    spec.h_capacity = 12;
+    spec.v_capacity = 12;
+    spec.local_sigma_regions = 2.5;
+    design = netlist::generate(spec);
+    params.sensitivity_rate = 0.5;
+  }
+
+  FlowResult phase12_only() const {
+    GsinoParams p = params;
+    p.lr_max_outer_pass1 = 0;
+    p.lr_max_outer_pass2 = 0;
+    const RoutingProblem problem = make_problem(design, spec, p);
+    return FlowRunner(problem).run(FlowKind::kGsino);
+  }
+};
+
+TEST(Refiner, Pass1EliminatesViolations) {
+  const Fixture fx;
+  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
+  FlowResult fr = fx.phase12_only();
+  const std::size_t before = fr.violating;
+
+  LocalRefiner refiner(problem);
+  RefineStats stats;
+  refiner.eliminate_violations(fr, stats);
+  refresh_noise(fr, problem);
+
+  EXPECT_LE(fr.violating, before);
+  EXPECT_EQ(fr.violating, fr.unfixable);  // anything left was given up on
+  if (before > 0) {
+    EXPECT_GT(stats.pass1_resolves, 0);
+  }
+}
+
+TEST(Refiner, Pass2NeverCreatesViolations) {
+  const Fixture fx;
+  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
+  FlowResult fr = fx.phase12_only();
+  LocalRefiner refiner(problem);
+  RefineStats stats;
+  refiner.eliminate_violations(fr, stats);
+  refresh_noise(fr, problem);
+  const std::size_t viol_before = fr.violating;
+  const double shields_before = fr.congestion->total_shields();
+
+  refiner.reduce_congestion(fr, stats);
+  refresh_noise(fr, problem);
+
+  EXPECT_LE(fr.violating, viol_before);
+  // Pass 2 only ever removes shields.
+  EXPECT_LE(fr.congestion->total_shields(), shields_before);
+  EXPECT_EQ(stats.pass2_shields_removed >= 0, true);
+}
+
+TEST(Refiner, StatsAreInternallyConsistent) {
+  const Fixture fx;
+  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
+  FlowResult fr = fx.phase12_only();
+  const RefineStats stats = LocalRefiner(problem).refine(fr);
+  EXPECT_GE(stats.pass1_nets_fixed, 0);
+  EXPECT_GE(stats.pass1_resolves, stats.pass1_nets_fixed);
+  EXPECT_EQ(fr.unfixable, static_cast<std::size_t>(stats.pass1_gave_up));
+  EXPECT_GE(stats.pass2_accepted + stats.pass2_rejected, stats.pass2_accepted);
+}
+
+TEST(Refiner, RefineIsIdempotentOnCleanState) {
+  // Refining an already-clean flow changes nothing structural: no
+  // violations appear and shields only go down (pass 2 may still harvest).
+  const Fixture fx;
+  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
+  FlowResult fr = FlowRunner(problem).run(FlowKind::kGsino);
+  ASSERT_EQ(fr.violating, 0u);
+  const double shields1 = fr.congestion->total_shields();
+  LocalRefiner(problem).refine(fr);
+  refresh_noise(fr, problem);
+  EXPECT_EQ(fr.violating, 0u);
+  EXPECT_LE(fr.congestion->total_shields(), shields1);
+}
+
+TEST(Refiner, SolutionsStayFeasibleAfterRefinement) {
+  const Fixture fx;
+  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
+  FlowResult fr = FlowRunner(problem).run(FlowKind::kGsino);
+  for (const RegionSolution& sol : fr.solutions) {
+    if (sol.empty()) continue;
+    const sino::SinoEvaluator eval(sol.instance, problem.keff());
+    const sino::SinoCheck c = eval.check(sol.slots);
+    EXPECT_TRUE(c.placed_all);
+    EXPECT_EQ(c.capacitive_violations, 0);
+  }
+}
+
+}  // namespace
+}  // namespace rlcr::gsino

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rsmt/rmst.h"
+#include "rsmt/steiner.h"
+#include "util/rng.h"
+
+namespace rlcr::rsmt {
+namespace {
+
+using geom::Point;
+
+TEST(Tree, LengthAndConnectivity) {
+  Tree t;
+  t.nodes = {{0, 0}, {3, 0}, {3, 4}};
+  t.edges = {{0, 1}, {1, 2}};
+  t.pin_count = 3;
+  EXPECT_EQ(t.length(), 7);
+  EXPECT_TRUE(t.connected());
+  EXPECT_TRUE(t.is_tree());
+  t.edges.pop_back();
+  EXPECT_FALSE(t.connected());
+  EXPECT_FALSE(t.is_tree());
+}
+
+TEST(Rmst, TrivialCases) {
+  EXPECT_EQ(rmst_length(std::vector<Point>{}), 0);
+  EXPECT_EQ(rmst_length(std::vector<Point>{{5, 5}}), 0);
+  EXPECT_EQ(rmst_length(std::vector<Point>{{0, 0}, {2, 3}}), 5);
+}
+
+TEST(Rmst, CollinearPoints) {
+  const std::vector<Point> pins{{0, 0}, {10, 0}, {4, 0}, {7, 0}};
+  EXPECT_EQ(rmst_length(pins), 10);
+}
+
+TEST(Rmst, DuplicatesAreFree) {
+  const std::vector<Point> pins{{1, 1}, {1, 1}, {4, 1}};
+  EXPECT_EQ(rmst_length(pins), 3);
+}
+
+TEST(Rmst, SquareUsesThreeSides) {
+  const std::vector<Point> pins{{0, 0}, {0, 2}, {2, 0}, {2, 2}};
+  EXPECT_EQ(rmst_length(pins), 6);
+  const Tree t = rmst(pins);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.edges.size(), 3u);
+}
+
+TEST(Steiner, CrossNetGainsFromSteinerPoint) {
+  // Plus-shape: RMST needs 4 arms = cost 8 via centre-less detours (RMST 8);
+  // with the centre Steiner point the tree is exactly 8... use asymmetric
+  // "T" instead where the gain is strict:
+  const std::vector<Point> pins{{0, 0}, {4, 0}, {2, 3}};
+  const std::int64_t mst = rmst_length(pins);
+  const std::int64_t steiner = rsmt_length(pins);
+  EXPECT_EQ(mst, 9);      // 4 + 5 (diagonal leg via L)
+  EXPECT_EQ(steiner, 7);  // meet at (2, 0)
+}
+
+TEST(Steiner, NeverWorseThanRmst) {
+  util::Xoshiro256 rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<Point> pins;
+    const int n = 3 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < n; ++i) {
+      pins.push_back(Point{static_cast<std::int32_t>(rng.below(20)),
+                           static_cast<std::int32_t>(rng.below(20))});
+    }
+    EXPECT_LE(rsmt_length(pins), rmst_length(pins));
+  }
+}
+
+TEST(Steiner, SteinerRatioBound) {
+  // RSMT >= RMST * 2/3 (Hwang); so RMST <= 1.5 * our heuristic length.
+  util::Xoshiro256 rng(7);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<Point> pins;
+    for (int i = 0; i < 6; ++i) {
+      pins.push_back(Point{static_cast<std::int32_t>(rng.below(30)),
+                           static_cast<std::int32_t>(rng.below(30))});
+    }
+    const auto heuristic = rsmt_length(pins);
+    const auto mst = rmst_length(pins);
+    EXPECT_LE(mst, (heuristic * 3 + 1) / 2 + 1);
+  }
+}
+
+TEST(Steiner, ResultIsAlwaysATreeOverPins) {
+  util::Xoshiro256 rng(11);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<Point> pins;
+    const int n = 2 + static_cast<int>(rng.below(10));
+    for (int i = 0; i < n; ++i) {
+      pins.push_back(Point{static_cast<std::int32_t>(rng.below(16)),
+                           static_cast<std::int32_t>(rng.below(16))});
+    }
+    const Tree t = rsmt(pins);
+    EXPECT_TRUE(t.connected()) << "iter " << iter;
+    EXPECT_EQ(t.edges.size() + 1, t.nodes.size());
+    // Pins are preserved in order at the front.
+    ASSERT_GE(t.nodes.size(), pins.size());
+    for (std::size_t i = 0; i < pins.size(); ++i) EXPECT_EQ(t.nodes[i], pins[i]);
+  }
+}
+
+TEST(Steiner, LargeNetsFallBackToRmst) {
+  SteinerOptions opts;
+  opts.max_pins_exact = 4;
+  std::vector<Point> pins;
+  for (int i = 0; i < 8; ++i) pins.push_back(Point{i, i * i % 7});
+  const Tree t = rsmt(pins, opts);
+  EXPECT_EQ(t.nodes.size(), pins.size());  // no Steiner points added
+  EXPECT_TRUE(t.is_tree());
+}
+
+TEST(Steiner, NoDanglingSteinerLeaves) {
+  util::Xoshiro256 rng(23);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<Point> pins;
+    for (int i = 0; i < 7; ++i) {
+      pins.push_back(Point{static_cast<std::int32_t>(rng.below(12)),
+                           static_cast<std::int32_t>(rng.below(12))});
+    }
+    const Tree t = rsmt(pins);
+    std::vector<int> degree(t.nodes.size(), 0);
+    for (const auto& [a, b] : t.edges) {
+      ++degree[static_cast<std::size_t>(a)];
+      ++degree[static_cast<std::size_t>(b)];
+    }
+    for (std::size_t v = t.pin_count; v < t.nodes.size(); ++v) {
+      EXPECT_GE(degree[v], 2) << "dangling Steiner node in iter " << iter;
+    }
+  }
+}
+
+class SteinerDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteinerDegreeSweep, ValidTreesAtEveryDegree) {
+  const int degree = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(degree) * 1009);
+  std::vector<Point> pins;
+  for (int i = 0; i < degree; ++i) {
+    pins.push_back(Point{static_cast<std::int32_t>(rng.below(40)),
+                         static_cast<std::int32_t>(rng.below(40))});
+  }
+  const Tree t = rsmt(pins);
+  EXPECT_TRUE(t.connected());
+  EXPECT_LE(t.length(), rmst_length(pins));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SteinerDegreeSweep,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16, 24, 40));
+
+}  // namespace
+}  // namespace rlcr::rsmt

@@ -1,0 +1,124 @@
+// Phase I hot-path scaling benchmarks: the ID-router deletion engine and the
+// maze (Dijkstra/A*) baseline router on a 64x64 region grid, the size class
+// the ISPD98-style workloads route at. Run with
+//
+//   bench_router_scale --benchmark_out=BENCH_router.json \
+//                      --benchmark_out_format=json
+//
+// to make the perf trajectory machine-readable; CI uploads that file from
+// every run so regressions are visible across PRs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "grid/region_grid.h"
+#include "router/id_router.h"
+#include "router/maze.h"
+#include "router/route_types.h"
+#include "sino/nss.h"
+#include "util/rng.h"
+
+using namespace rlcr;
+using namespace rlcr::router;
+
+namespace {
+
+grid::RegionGrid scale_grid(std::int32_t side = 64, int cap = 16) {
+  grid::RegionGridSpec s;
+  s.cols = side;
+  s.rows = side;
+  s.region_w_um = 50.0;
+  s.region_h_um = 50.0;
+  s.h_capacity = cap;
+  s.v_capacity = cap;
+  return grid::RegionGrid(s);
+}
+
+/// Clustered multi-pin nets, the same generator shape the router tests use:
+/// local nets with bounded bounding boxes so they enter the deletion pool
+/// (not the huge-net pre-route path).
+std::vector<RouterNet> scale_nets(const grid::RegionGrid& g, std::size_t count,
+                                  std::uint64_t seed, std::int32_t spread = 6) {
+  util::Xoshiro256 rng(seed);
+  std::vector<RouterNet> nets(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nets[i].id = static_cast<std::int32_t>(i);
+    nets[i].si = 0.3;
+    const std::int32_t cx = static_cast<std::int32_t>(rng.below(
+        static_cast<std::uint64_t>(g.cols())));
+    const std::int32_t cy = static_cast<std::int32_t>(rng.below(
+        static_cast<std::uint64_t>(g.rows())));
+    const std::size_t degree = 2 + rng.below(3);
+    for (std::size_t p = 0; p < degree; ++p) {
+      geom::Point pt{
+          std::clamp(cx + static_cast<std::int32_t>(rng.range(-spread, spread)),
+                     0, g.cols() - 1),
+          std::clamp(cy + static_cast<std::int32_t>(rng.range(-spread, spread)),
+                     0, g.rows() - 1)};
+      if (std::find(nets[i].pins.begin(), nets[i].pins.end(), pt) ==
+          nets[i].pins.end()) {
+        nets[i].pins.push_back(pt);
+      }
+    }
+    if (nets[i].pins.size() < 2) {
+      nets[i].pins.push_back(
+          geom::Point{(cx + 1) % g.cols(), (cy + 1) % g.rows()});
+    }
+  }
+  return nets;
+}
+
+void BM_IdRouter64(benchmark::State& state) {
+  const grid::RegionGrid g = scale_grid();
+  const auto nets = scale_nets(g, static_cast<std::size_t>(state.range(0)), 97);
+  const sino::NssModel nss;
+  const IdRouter router(g, nss);
+  double wl = 0.0;
+  for (auto _ : state) {
+    const RoutingResult res = router.route(nets);
+    wl = res.total_wirelength_um;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["wirelength_um"] = wl;
+  state.counters["nets_per_s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_IdRouter64)->Arg(200)->Arg(800)->Arg(3200)->Unit(benchmark::kMillisecond);
+
+void BM_Maze64(benchmark::State& state) {
+  const grid::RegionGrid g = scale_grid();
+  const auto nets = scale_nets(g, static_cast<std::size_t>(state.range(0)), 131);
+  const MazeRouter maze(g);
+  double wl = 0.0;
+  for (auto _ : state) {
+    const RoutingResult res = maze.route(nets);
+    wl = res.total_wirelength_um;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["wirelength_um"] = wl;
+  state.counters["nets_per_s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Maze64)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_Maze64Dijkstra(benchmark::State& state) {
+  const grid::RegionGrid g = scale_grid();
+  const auto nets = scale_nets(g, static_cast<std::size_t>(state.range(0)), 131);
+  MazeOptions opt;
+  opt.use_astar = false;  // historical tie-break order, seed-identical routes
+  const MazeRouter maze(g, opt);
+  double wl = 0.0;
+  for (auto _ : state) {
+    const RoutingResult res = maze.route(nets);
+    wl = res.total_wirelength_um;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["wirelength_um"] = wl;
+  state.counters["nets_per_s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Maze64Dijkstra)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

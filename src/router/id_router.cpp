@@ -4,10 +4,12 @@
 #include <array>
 #include <cmath>
 #include <limits>
-#include <queue>
+#include <memory>
 #include <unordered_set>
 
+
 #include "rsmt/steiner.h"
+#include "util/indexed_heap.h"
 #include "util/stopwatch.h"
 
 namespace rlcr::router {
@@ -18,30 +20,70 @@ constexpr std::uint8_t kActive = 0;
 constexpr std::uint8_t kDeleted = 1;
 constexpr std::uint8_t kLocked = 2;
 
+// Bits of EdgeHot::meta beyond the 2-bit state.
+constexpr std::uint8_t kStateMask = 0x3;
+constexpr std::uint8_t kCertifiedBit = 0x4;  ///< never-deletable certificate
+constexpr std::uint8_t kOnCertBit = 0x8;     ///< on the positive cert paths
+
+/// How many deletable() BFS runs a net absorbs before its no-BFS
+/// certificates (frozen flag, bridge pass, pin paths) are refreshed. Purely
+/// a work-scheduling knob: certificates are sound, so the refresh cadence
+/// cannot change routing output, only how many BFS calls are skipped.
+constexpr int kCertifyInterval = 4;
+
+/// Everything the deletion loop's hot paths need about a candidate edge,
+/// packed into one 16-byte record (one cache line covers four edges):
+/// endpoint region ids, the static f(WL) term, direction, and the
+/// state/certificate bits. The per-net LocalEdge keeps graph topology only.
+struct EdgeHot {
+  // No default member init: records live in a bulk-allocated arena whose
+  // every field is assigned during build, so zeroing it first is waste.
+  std::int32_t ru, rv;  // endpoint region indices
+  float fwl;            // static wire-length term of Eq. (2)
+  std::uint8_t dir;     // grid::Dir as index
+  std::uint8_t meta;    // state | certificate bits
+};
+static_assert(sizeof(EdgeHot) == 16);
+
 struct LocalEdge {
-  std::int32_t u = 0, v = 0;   // local vertex ids
-  float fwl = 0.0f;            // static wire-length term
-  std::uint8_t dir = 0;        // grid::Dir as index
-  std::uint8_t state = kActive;
-  std::uint8_t reinserts = 0;
+  std::int32_t u, v;  // local vertex ids (arena-allocated, assigned in build)
+  std::uint8_t state;
 };
 
 /// Per-net working graph over the pin bounding box.
+/// Per-net arrays live as slices of three shared arenas (one allocation
+/// each for the whole net list instead of a dozen per net); NetWork holds
+/// raw pointers into them plus the counts.
 struct NetWork {
   geom::Rect bbox;
   std::int32_t w = 0, h = 0;  // bbox dimensions in regions
-  std::vector<LocalEdge> edges;
+  LocalEdge* edges = nullptr;
+  std::size_t edge_count = 0;
+  std::size_t gid_base = 0;  ///< global id of edges[0]
   // CSR adjacency: vertex -> [edge ids].
-  std::vector<std::int32_t> adj_offset;
-  std::vector<std::int32_t> adj_edges;
+  std::int32_t* adj_offset = nullptr;  // vcount + 1
+  std::int32_t* adj_edges = nullptr;   // 2 * edge_count
   // Active incident-edge count per vertex per direction.
-  std::vector<std::array<std::uint16_t, 2>> incident;
+  std::array<std::uint16_t, 2>* incident = nullptr;
   std::vector<std::int32_t> pin_locals;
   std::vector<std::int32_t> pin_limits;  ///< BFS distance cap per pin (guard)
+  std::int32_t* pin_index = nullptr;  ///< vertex -> pin ordinal or -1
+  std::int32_t max_pin_limit = 0;
   std::int32_t src_local = 0;
   double si = 0.0;
+  double rsmt_len = 1.0;  ///< RSMT length estimate (>= 1 region unit)
   bool prerouted = false;
+  int bfs_since_certify = 0;
+  int locks_since_tarjan = 1;  ///< run the first bridge pass unconditionally
+  /// Positive certificate: local edge ids forming one certified
+  /// source->pin path family, every pin within its detour limit. An edge
+  /// off these paths is deletable without BFS — the paths survive its
+  /// removal and keep certifying every pin. Edges change state only when
+  /// popped, so the certificate stays valid until a pop touches it.
+  std::vector<std::int32_t> cert_edges;
   std::vector<GridEdge> fixed_edges;  // for pre-routed nets
+  /// Region index per bbox vertex (avoids div/mod on the hot paths).
+  std::int32_t* region_idx = nullptr;
 
   // Expected-usage demand model: the net's final route will cross about
   // `est_regions[d]` regions in direction d; while `active_regions[d]`
@@ -52,6 +94,12 @@ struct NetWork {
   double est_regions[2] = {0.0, 0.0};
   std::int32_t active_regions[2] = {0, 0};
   double weight_applied[2] = {0.0, 0.0};
+  // Maintained per-direction lists of vertices with active incident edges,
+  // so a rebalance touches exactly the active set instead of rescanning the
+  // whole bounding box. active_pos[d][v] = index in active_vertices[d].
+  std::int32_t* active_vertices[2] = {nullptr, nullptr};
+  std::int32_t* active_pos[2] = {nullptr, nullptr};
+  std::int32_t active_count[2] = {0, 0};
 
   std::int32_t local(geom::Point p) const {
     return (p.y - bbox.lo.y) * w + (p.x - bbox.lo.x);
@@ -66,39 +114,36 @@ struct NetWork {
     if (active_regions[d] <= 0) return 0.0;
     return std::min(1.0, est_regions[d] / active_regions[d]);
   }
-};
-
-struct HeapEntry {
-  double weight;
-  std::int32_t net;
-  std::int32_t edge;
-
-  bool operator<(const HeapEntry& o) const {
-    // Max-heap on weight; deterministic tie-break on (net, edge).
-    if (weight != o.weight) return weight < o.weight;
-    if (net != o.net) return net < o.net;
-    return edge < o.edge;
+  void drop_active_vertex(int d, std::int32_t v) {
+    std::int32_t* list = active_vertices[d];
+    std::int32_t* pos = active_pos[d];
+    const std::int32_t at = pos[static_cast<std::size_t>(v)];
+    const std::int32_t last = list[static_cast<std::size_t>(active_count[d] - 1)];
+    list[static_cast<std::size_t>(at)] = last;
+    pos[static_cast<std::size_t>(last)] = at;
+    --active_count[d];
+    pos[static_cast<std::size_t>(v)] = -1;
   }
 };
 
 /// Shared per-(region, direction) presence statistics (fractional under the
-/// expected-usage model).
+/// expected-usage model). The three accumulators of one region live in one
+/// record so an update touches a single cache line.
+struct RegionStat {
+  double nns = 0.0, sum_si = 0.0, sum_si2 = 0.0;
+};
+
 struct RegionStats {
-  std::vector<double> nns[2];
-  std::vector<double> sum_si[2];
-  std::vector<double> sum_si2[2];
+  std::vector<RegionStat> s[2];
 
   explicit RegionStats(std::size_t regions) {
-    for (int d = 0; d < 2; ++d) {
-      nns[d].assign(regions, 0.0);
-      sum_si[d].assign(regions, 0.0);
-      sum_si2[d].assign(regions, 0.0);
-    }
+    for (int d = 0; d < 2; ++d) s[d].assign(regions, RegionStat{});
   }
   void add(std::size_t region, int d, double w, double si) {
-    nns[d][region] += w;
-    sum_si[d][region] += w * si;
-    sum_si2[d][region] += w * si * si;
+    RegionStat& r = s[d][region];
+    r.nns += w;
+    r.sum_si += w * si;
+    r.sum_si2 += w * si * si;
   }
 };
 
@@ -134,13 +179,6 @@ void emit_l_shape(geom::Point p, geom::Point q, std::vector<GridEdge>& out) {
   }
 }
 
-struct GridEdgeHash {
-  std::size_t operator()(const GridEdge& e) const noexcept {
-    const std::hash<geom::Point> h;
-    return h(e.a) * 1000003u ^ h(e.b);
-  }
-};
-
 }  // namespace
 
 IdRouter::IdRouter(const grid::RegionGrid& grid, const sino::NssModel& nss,
@@ -156,24 +194,51 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   RegionStats stats(region_count);
 
   // ---------------------------------------------------------------- build
+  //
+  // Pass A: bounding boxes and pre-route decisions, so the per-net array
+  // sizes are known and the arenas can be carved in one allocation each.
   std::vector<NetWork> works(nets.size());
+  std::size_t sum_v = 0, sum_e = 0;
   for (std::size_t n = 0; n < nets.size(); ++n) {
     const RouterNet& net = nets[n];
     NetWork& wk = works[n];
     wk.si = net.si;
     result.routes[n].net_id = net.id;
     for (const geom::Point& p : net.pins) wk.bbox.expand(p);
-    if (net.pins.size() < 2 || wk.bbox.cell_count() <= 1) {
-      wk.prerouted = true;  // nothing to route
+    if (net.pins.size() < 2 || wk.bbox.cell_count() <= 1 ||
+        static_cast<std::size_t>(wk.bbox.cell_count()) >
+            options_.huge_net_bbox_threshold) {
+      wk.prerouted = true;  // trivial, or pre-routed on its RSMT below
       continue;
     }
     wk.w = static_cast<std::int32_t>(wk.bbox.width());
     wk.h = static_cast<std::int32_t>(wk.bbox.height());
+    sum_v += wk.vertex_count();
+    sum_e += static_cast<std::size_t>(
+        2 * wk.w * wk.h - wk.w - wk.h);  // grid graph over the bbox
+  }
+  // Arenas: int32 slots per net = (V+1) adj_offset + 2E adj_edges +
+  // V pin_index + V region_idx + 2V active_pos + 2V active_vertices.
+  // new T[] (not vectors): default-init leaves the trivially-typed arenas
+  // uninitialized, and every slice is written before it is read.
+  std::vector<std::int32_t> csr_cursor;  // shared CSR build scratch
+  const std::unique_ptr<LocalEdge[]> edge_arena(new LocalEdge[sum_e]);
+  const std::unique_ptr<std::array<std::uint16_t, 2>[]> incident_arena(
+      new std::array<std::uint16_t, 2>[sum_v]);
+  const std::unique_ptr<std::int32_t[]> i32_arena(
+      new std::int32_t[7 * sum_v + works.size() + 2 * sum_e]);
+  std::size_t edge_cursor = 0, incident_cursor = 0, i32_cursor = 0;
 
-    if (static_cast<std::size_t>(wk.bbox.cell_count()) >
-        options_.huge_net_bbox_threshold) {
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const RouterNet& net = nets[n];
+    NetWork& wk = works[n];
+    if (wk.prerouted &&
+        (net.pins.size() < 2 || wk.bbox.cell_count() <= 1)) {
+      continue;  // nothing to route
+    }
+
+    if (wk.prerouted) {
       // Pre-route on the RSMT topology with L-shapes; fixed demand.
-      wk.prerouted = true;
       ++result.stats.prerouted_nets;
       const rsmt::Tree tree = rsmt::rsmt(net.pins);
       std::unordered_set<GridEdge, GridEdgeHash> seen;
@@ -200,192 +265,298 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
       continue;
     }
 
-    // Full connection graph over the bounding box.
+    // Full connection graph over the bounding box, carved from the arenas.
     const auto vcount = wk.vertex_count();
-    wk.incident.assign(vcount, {0, 0});
-    for (std::int32_t y = 0; y < wk.h; ++y) {
-      for (std::int32_t x = 0; x < wk.w; ++x) {
-        const std::int32_t v = y * wk.w + x;
-        if (x + 1 < wk.w) {
-          wk.edges.push_back(LocalEdge{
-              v, v + 1, 0.0f,
-              static_cast<std::uint8_t>(grid::Dir::kHorizontal), kActive, 0});
+    wk.edge_count = static_cast<std::size_t>(2 * wk.w * wk.h - wk.w - wk.h);
+    wk.edges = edge_arena.get() + edge_cursor;
+    edge_cursor += wk.edge_count;
+    wk.incident = incident_arena.get() + incident_cursor;
+    incident_cursor += vcount;
+    auto carve = [&](std::size_t count) {
+      std::int32_t* p = i32_arena.get() + i32_cursor;
+      i32_cursor += count;
+      return p;
+    };
+    wk.adj_offset = carve(vcount + 1);
+    wk.adj_edges = carve(2 * wk.edge_count);
+    wk.pin_index = carve(vcount);
+    wk.region_idx = carve(vcount);
+    wk.active_pos[0] = carve(vcount);
+    wk.active_pos[1] = carve(vcount);
+    wk.active_vertices[0] = carve(vcount);
+    wk.active_vertices[1] = carve(vcount);
+    std::fill_n(wk.incident, vcount, std::array<std::uint16_t, 2>{0, 0});
+    {
+      // Row-major incremental fill: region ids advance by 1 per column and
+      // by the grid stride per row — no div/mod per vertex.
+      const std::int32_t stride = grid_->cols();
+      std::int32_t row_base = static_cast<std::int32_t>(
+          grid_->index(geom::Point{wk.bbox.lo.x, wk.bbox.lo.y}));
+      std::size_t v = 0;
+      for (std::int32_t y = 0; y < wk.h; ++y, row_base += stride) {
+        for (std::int32_t x = 0; x < wk.w; ++x) {
+          wk.region_idx[v++] = row_base + x;
         }
-        if (y + 1 < wk.h) {
-          wk.edges.push_back(LocalEdge{
-              v, v + wk.w, 0.0f,
-              static_cast<std::uint8_t>(grid::Dir::kVertical), kActive, 0});
+      }
+    }
+    {
+      std::size_t ec = 0;
+      for (std::int32_t y = 0; y < wk.h; ++y) {
+        for (std::int32_t x = 0; x < wk.w; ++x) {
+          const std::int32_t v = y * wk.w + x;
+          if (x + 1 < wk.w) wk.edges[ec++] = LocalEdge{v, v + 1, kActive};
+          if (y + 1 < wk.h) wk.edges[ec++] = LocalEdge{v, v + wk.w, kActive};
         }
       }
     }
 
     // CSR adjacency.
-    wk.adj_offset.assign(vcount + 1, 0);
-    for (const LocalEdge& e : wk.edges) {
+    std::fill_n(wk.adj_offset, vcount + 1, 0);
+    for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
+      const LocalEdge& e = wk.edges[ei];
       ++wk.adj_offset[static_cast<std::size_t>(e.u) + 1];
       ++wk.adj_offset[static_cast<std::size_t>(e.v) + 1];
     }
-    for (std::size_t i = 1; i < wk.adj_offset.size(); ++i) {
+    for (std::size_t i = 1; i <= vcount; ++i) {
       wk.adj_offset[i] += wk.adj_offset[i - 1];
     }
-    wk.adj_edges.assign(static_cast<std::size_t>(wk.adj_offset.back()), 0);
     {
-      std::vector<std::int32_t> cursor(wk.adj_offset.begin(),
-                                       wk.adj_offset.end() - 1);
-      for (std::size_t ei = 0; ei < wk.edges.size(); ++ei) {
+      csr_cursor.assign(wk.adj_offset, wk.adj_offset + vcount);
+      for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
         const LocalEdge& e = wk.edges[ei];
         wk.adj_edges[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(e.u)]++)] =
+            csr_cursor[static_cast<std::size_t>(e.u)]++)] =
             static_cast<std::int32_t>(ei);
         wk.adj_edges[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(e.v)]++)] =
+            csr_cursor[static_cast<std::size_t>(e.v)]++)] =
             static_cast<std::int32_t>(ei);
       }
     }
 
-    // Pins (deduplicated local ids) and their detour-guard limits.
+    // Pins (deduplicated local ids), their detour-guard limits, and the
+    // vertex -> pin ordinal map the bounded BFS certifies against.
     {
-      std::unordered_set<std::int32_t> pin_set;
-      for (const geom::Point& p : net.pins) pin_set.insert(wk.local(p));
-      wk.pin_locals.assign(pin_set.begin(), pin_set.end());
+      wk.pin_locals.reserve(net.pins.size());
+      for (const geom::Point& p : net.pins) wk.pin_locals.push_back(wk.local(p));
       std::sort(wk.pin_locals.begin(), wk.pin_locals.end());
+      wk.pin_locals.erase(
+          std::unique(wk.pin_locals.begin(), wk.pin_locals.end()),
+          wk.pin_locals.end());
       wk.src_local = wk.local(net.pins.front());
       wk.pin_limits.reserve(wk.pin_locals.size());
-      for (std::int32_t pl : wk.pin_locals) {
+      std::fill_n(wk.pin_index, vcount, -1);
+      for (std::size_t p = 0; p < wk.pin_locals.size(); ++p) {
+        const std::int32_t pl = wk.pin_locals[p];
         const auto dist = geom::manhattan(wk.global(pl), net.pins.front());
         wk.pin_limits.push_back(static_cast<std::int32_t>(std::ceil(
                                     options_.max_detour_factor *
                                     static_cast<double>(dist))) +
                                 options_.detour_slack);
+        wk.pin_index[static_cast<std::size_t>(pl)] =
+            static_cast<std::int32_t>(p);
+        wk.max_pin_limit = std::max(wk.max_pin_limit, wk.pin_limits.back());
       }
-    }
-
-    // Static f(WL) per edge: shortest source->sink path forced through it,
-    // normalized by the RSMT length estimate (>= 1 region unit).
-    const double rsmt_len =
-        static_cast<double>(std::max<std::int64_t>(1, rsmt::rsmt_length(net.pins)));
-    const geom::Point src = net.pins.front();
-    auto min_sink_dist = [&](geom::Point p) {
-      std::int64_t best = std::numeric_limits<std::int64_t>::max();
-      for (std::size_t i = 1; i < net.pins.size(); ++i) {
-        best = std::min(best, geom::manhattan(p, net.pins[i]));
-      }
-      return best;
-    };
-    for (LocalEdge& e : wk.edges) {
-      const geom::Point pu = wk.global(e.u);
-      const geom::Point pv = wk.global(e.v);
-      const std::int64_t through_uv =
-          geom::manhattan(src, pu) + 1 + min_sink_dist(pv);
-      const std::int64_t through_vu =
-          geom::manhattan(src, pv) + 1 + min_sink_dist(pu);
-      e.fwl = static_cast<float>(
-          static_cast<double>(std::min(through_uv, through_vu)) / rsmt_len);
     }
 
     // Incident counts, expected-usage estimates, and initial presence.
-    for (const LocalEdge& e : wk.edges) {
-      ++wk.incident[static_cast<std::size_t>(e.u)][e.dir];
-      ++wk.incident[static_cast<std::size_t>(e.v)][e.dir];
+    // A horizontal edge connects u and u+1; with w == 1 no horizontal
+    // edges exist and u+1 aliases the vertical stride.
+    for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
+      const LocalEdge& e = wk.edges[ei];
+      const int d = (e.v == e.u + 1 && wk.w > 1)
+                        ? static_cast<int>(grid::Dir::kHorizontal)
+                        : static_cast<int>(grid::Dir::kVertical);
+      ++wk.incident[static_cast<std::size_t>(e.u)][d];
+      ++wk.incident[static_cast<std::size_t>(e.v)][d];
     }
     // The final tree crosses roughly rsmt_len boundaries, split between
     // directions in proportion to the bbox aspect; +1 converts crossings
     // to touched regions.
+    wk.rsmt_len = static_cast<double>(
+        std::max<std::int64_t>(1, rsmt::rsmt_length(net.pins)));
     {
       const double wx = std::max(1, wk.w - 1);
       const double wy = std::max(1, wk.h - 1);
-      wk.est_regions[0] = rsmt_len * (wx / (wx + wy)) + 1.0;
-      wk.est_regions[1] = rsmt_len * (wy / (wx + wy)) + 1.0;
+      wk.est_regions[0] = wk.rsmt_len * (wx / (wx + wy)) + 1.0;
+      wk.est_regions[1] = wk.rsmt_len * (wy / (wx + wy)) + 1.0;
     }
     for (int d = 0; d < 2; ++d) {
+      std::fill_n(wk.active_pos[d], vcount, -1);
       for (std::size_t v = 0; v < vcount; ++v) {
         if (wk.incident[v][static_cast<std::size_t>(d)] > 0) {
+          wk.active_pos[d][v] = wk.active_count[d];
+          wk.active_vertices[d][static_cast<std::size_t>(wk.active_count[d]++)] =
+              static_cast<std::int32_t>(v);
           ++wk.active_regions[d];
         }
       }
       wk.weight_applied[d] = wk.target_weight(d);
-      for (std::size_t v = 0; v < vcount; ++v) {
-        if (wk.incident[v][static_cast<std::size_t>(d)] > 0) {
-          stats.add(grid_->index(wk.global(static_cast<std::int32_t>(v))), d,
-                    wk.weight_applied[d], wk.si);
-        }
+      for (std::int32_t i = 0; i < wk.active_count[d]; ++i) {
+        const std::int32_t v = wk.active_vertices[d][static_cast<std::size_t>(i)];
+        stats.add(static_cast<std::size_t>(
+                      wk.region_idx[static_cast<std::size_t>(v)]),
+                  d, wk.weight_applied[d], wk.si);
       }
     }
-    result.stats.edges_initial += wk.edges.size();
+    result.stats.edges_initial += wk.edge_count;
   }
 
-  // --------------------------------------------------------------- weights
+  // ------------------------------------------------- incremental weights
+  //
+  // Eq. (2) terms are served from per-(region, dir) density/overflow caches
+  // derived from the shared RegionStats (incl. the Eq. (3) shield
+  // estimate). A stats change flips a stale flag; the caches refresh
+  // lazily at first read, so each change costs at most one polynomial
+  // evaluation per touched region — instead of the historical four full
+  // density derivations on every heap pop.
   const IdWeights& wt = options_.weights;
-  auto density = [&](std::size_t region, int d) {
-    double hu = stats.nns[d][region];
+
+  // Density and overflow of one (region, dir) share a record: the weight
+  // combine reads both with one load each per endpoint.
+  struct DensCache {
+    double dens = 0.0, over = 0.0;
+  };
+  std::vector<DensCache> dcache[2];
+  for (int d = 0; d < 2; ++d) dcache[d].assign(region_count, DensCache{});
+  // Everything starts stale: caches materialize on first read, so regions
+  // no net touches never pay a refresh.
+  std::vector<std::uint8_t> region_stale(region_count * 2, 1);
+  auto refresh_region = [&](std::size_t region, int d) {
+    const RegionStat& rs = stats.s[d][region];
+    double hu = rs.nns;
     if (options_.reserve_shields) {
-      hu += nss_->estimate(stats.nns[d][region], stats.sum_si[d][region],
-                           stats.sum_si2[d][region]);
+      hu += nss_->estimate(rs.nns, rs.sum_si, rs.sum_si2);
     }
-    return hu / grid_->capacity(static_cast<grid::Dir>(d));
+    const double dens = hu / grid_->capacity(static_cast<grid::Dir>(d));
+    dcache[d][region] = DensCache{dens, dens > 1.0 ? dens - 1.0 : 0.0};
   };
-  auto overflow = [&](std::size_t region, int d) {
-    const double dens = density(region, d);
-    return dens > 1.0 ? dens - 1.0 : 0.0;
+  auto mark_dirty = [&](std::size_t region, int d) {
+    region_stale[region * 2 + static_cast<std::size_t>(d)] = 1;
   };
-  auto edge_weight = [&](const NetWork& wk, const LocalEdge& e) {
-    const std::size_t ru = grid_->index(wk.global(e.u));
-    const std::size_t rv = grid_->index(wk.global(e.v));
-    const int d = e.dir;
-    const double hd = 0.5 * (density(ru, d) + density(rv, d));
-    const double ofr = 0.5 * (overflow(ru, d) + overflow(rv, d));
-    return wt.alpha * static_cast<double>(e.fwl) + wt.beta * hd + wt.gamma * ofr;
+  auto fresh_region = [&](std::size_t region, int d) {
+    const std::size_t key = region * 2 + static_cast<std::size_t>(d);
+    if (region_stale[key]) {
+      region_stale[key] = 0;
+      refresh_region(region, d);
+    }
   };
 
-  /// Rebalance one net's fractional demand after its active-region count
-  /// in direction d changed (the per-region weight moves toward 1).
-  auto rebalance = [&](NetWork& wk, int d) {
-    const double target = wk.target_weight(d);
-    const double delta = target - wk.weight_applied[d];
-    if (std::abs(delta) < 1e-12) return;
-    const std::size_t vcount = wk.vertex_count();
-    for (std::size_t v = 0; v < vcount; ++v) {
-      if (wk.incident[v][static_cast<std::size_t>(d)] > 0) {
-        stats.add(grid_->index(wk.global(static_cast<std::int32_t>(v))), d,
-                  delta, wk.si);
+  // Global candidate-edge ids: net-major, so ascending id matches the
+  // historical (net, edge) tie-break of the lazy heap. EdgeHot packs the
+  // per-edge hot state; per-net flags mirror into flat arrays so the pop
+  // loop's fast paths never touch the big NetWork records.
+  std::vector<std::size_t> edge_base(works.size() + 1, 0);
+  for (std::size_t n = 0; n < works.size(); ++n) {
+    edge_base[n + 1] = edge_base[n] + works[n].edge_count;
+  }
+  const std::size_t total_edges = edge_base.back();
+  const std::unique_ptr<EdgeHot[]> ehot(new EdgeHot[total_edges]);
+  const std::unique_ptr<std::int32_t[]> gid_net(new std::int32_t[total_edges]);
+  std::vector<std::uint8_t> net_frozen(works.size(), 0);
+  std::vector<std::uint8_t> net_cert_valid(works.size(), 0);
+
+  auto current_weight = [&](const EdgeHot& h) {
+    const int d = h.dir;
+    const auto ru = static_cast<std::size_t>(h.ru);
+    const auto rv = static_cast<std::size_t>(h.rv);
+    fresh_region(ru, d);
+    fresh_region(rv, d);
+    const DensCache& cu = dcache[d][ru];
+    const DensCache& cv = dcache[d][rv];
+    const double hd = 0.5 * (cu.dens + cv.dens);
+    const double ofr = 0.5 * (cu.over + cv.over);
+    return wt.alpha * static_cast<double>(h.fwl) + wt.beta * hd + wt.gamma * ofr;
+  };
+
+  util::IndexedMaxHeap heap(total_edges);
+  {
+    std::vector<util::IndexedMaxHeap::Entry> heap_init;
+    heap_init.reserve(total_edges);
+    std::vector<std::int64_t> dist_src, dist_sink;  // per-vertex scratch
+    for (std::size_t n = 0; n < works.size(); ++n) {
+      NetWork& wk = works[n];
+      wk.gid_base = edge_base[n];
+      if (wk.prerouted) continue;
+      const RouterNet& net = nets[n];
+      // Static f(WL) per edge: shortest source->sink path forced through
+      // it, normalized by the RSMT length estimate (>= 1 region unit).
+      // Source and nearest-sink distances are precomputed per vertex, so
+      // the edge loop is table lookups instead of O(pins) Manhattan scans.
+      const geom::Point src = net.pins.front();
+      const std::size_t vcount = wk.vertex_count();
+      dist_src.resize(vcount);
+      dist_sink.resize(vcount);
+      for (std::size_t v = 0; v < vcount; ++v) {
+        const geom::Point p = wk.global(static_cast<std::int32_t>(v));
+        dist_src[v] = geom::manhattan(src, p);
+        std::int64_t best = std::numeric_limits<std::int64_t>::max();
+        for (std::size_t i = 1; i < net.pins.size(); ++i) {
+          best = std::min(best, geom::manhattan(p, net.pins[i]));
+        }
+        dist_sink[v] = best;
+      }
+      for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
+        const LocalEdge& e = wk.edges[ei];
+        const std::size_t gid = edge_base[n] + ei;
+        EdgeHot& h = ehot[gid];
+        const geom::Point pu = wk.global(e.u);
+        const geom::Point pv = wk.global(e.v);
+        const std::int64_t through_uv =
+            dist_src[static_cast<std::size_t>(e.u)] + 1 +
+            dist_sink[static_cast<std::size_t>(e.v)];
+        const std::int64_t through_vu =
+            dist_src[static_cast<std::size_t>(e.v)] + 1 +
+            dist_sink[static_cast<std::size_t>(e.u)];
+        h.fwl = static_cast<float>(
+            static_cast<double>(std::min(through_uv, through_vu)) / wk.rsmt_len);
+        h.dir = static_cast<std::uint8_t>(pu.y == pv.y ? grid::Dir::kHorizontal
+                                                       : grid::Dir::kVertical);
+        h.ru = wk.region_idx[static_cast<std::size_t>(e.u)];
+        h.rv = wk.region_idx[static_cast<std::size_t>(e.v)];
+        h.meta = kActive;
+        gid_net[gid] = static_cast<std::int32_t>(n);
+        heap_init.push_back(util::IndexedMaxHeap::Entry{
+            current_weight(h), static_cast<std::int32_t>(gid)});
       }
     }
-    wk.weight_applied[d] = target;
-  };
-
-  // ------------------------------------------------------------------ heap
-  std::priority_queue<HeapEntry> heap;
-  for (std::size_t n = 0; n < works.size(); ++n) {
-    const NetWork& wk = works[n];
-    if (wk.prerouted) continue;
-    for (std::size_t ei = 0; ei < wk.edges.size(); ++ei) {
-      heap.push(HeapEntry{edge_weight(wk, wk.edges[ei]),
-                          static_cast<std::int32_t>(n),
-                          static_cast<std::int32_t>(ei)});
-    }
+    heap.build(heap_init);
   }
 
-  // Scratch for BFS connectivity checks (sized to the largest net).
-  std::size_t max_vertices = 0;
+  // --------------------------------------------------- shared BFS scratch
+  std::size_t max_vertices = 0, max_edges = 0;
   for (const NetWork& wk : works) {
-    if (!wk.prerouted) max_vertices = std::max(max_vertices, wk.vertex_count());
+    if (wk.prerouted) continue;
+    max_vertices = std::max(max_vertices, wk.vertex_count());
+    max_edges = std::max(max_edges, wk.edge_count);
   }
   std::vector<std::uint32_t> visit_stamp(max_vertices, 0);
   std::vector<std::int32_t> visit_dist(max_vertices, 0);
+  std::vector<std::int32_t> visit_parent(max_vertices, -1);
   std::uint32_t stamp = 0;
   std::vector<std::int32_t> bfs_queue;
   bfs_queue.reserve(max_vertices);
 
-  /// BFS from the source over active edges, optionally skipping one edge;
-  /// distances land in visit_dist (stamped).
-  auto bfs_from_source = [&](const NetWork& wk, std::int32_t skip_edge) {
+  /// Early-exit bounded BFS from the source over active edges, optionally
+  /// skipping one edge. Returns the deletability verdict directly: true as
+  /// soon as every pin is certified within its detour limit; false the
+  /// moment a pin is first reached beyond its limit, or once the BFS depth
+  /// exceeds the largest pin limit (no pin can be certified any more), or
+  /// when the frontier dries up. Identical verdicts to a full-graph BFS —
+  /// it just refuses to flood the rest of the bounding box.
+  auto deletable_bfs = [&](const NetWork& wk, std::int32_t skip_edge) {
     ++stamp;
     bfs_queue.clear();
+    std::size_t uncertified = wk.pin_locals.size();
+    const auto src = static_cast<std::size_t>(wk.src_local);
+    visit_stamp[src] = stamp;
+    visit_dist[src] = 0;
+    if (wk.pin_index[src] >= 0) --uncertified;  // source pin, distance 0
+    if (uncertified == 0) return true;
     bfs_queue.push_back(wk.src_local);
-    visit_stamp[static_cast<std::size_t>(wk.src_local)] = stamp;
-    visit_dist[static_cast<std::size_t>(wk.src_local)] = 0;
     for (std::size_t head = 0; head < bfs_queue.size(); ++head) {
       const std::int32_t v = bfs_queue[head];
+      const std::int32_t dnext = visit_dist[static_cast<std::size_t>(v)] + 1;
+      if (dnext > wk.max_pin_limit) return false;  // nothing certifiable left
       for (std::int32_t i = wk.adj_offset[static_cast<std::size_t>(v)];
            i < wk.adj_offset[static_cast<std::size_t>(v) + 1]; ++i) {
         const std::int32_t ei = wk.adj_edges[static_cast<std::size_t>(i)];
@@ -395,65 +566,254 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
         const std::int32_t other = (e.u == v) ? e.v : e.u;
         if (visit_stamp[static_cast<std::size_t>(other)] == stamp) continue;
         visit_stamp[static_cast<std::size_t>(other)] = stamp;
-        visit_dist[static_cast<std::size_t>(other)] =
-            visit_dist[static_cast<std::size_t>(v)] + 1;
+        visit_dist[static_cast<std::size_t>(other)] = dnext;
+        visit_parent[static_cast<std::size_t>(other)] = ei;
+        const std::int32_t pi = wk.pin_index[static_cast<std::size_t>(other)];
+        if (pi >= 0) {
+          if (dnext > wk.pin_limits[static_cast<std::size_t>(pi)]) return false;
+          if (--uncertified == 0) return true;
+        }
         bfs_queue.push_back(other);
       }
     }
+    return false;  // some pin is unreachable
   };
 
-  /// May `skip_edge` be deleted? Requires every pin to stay reachable from
-  /// the source within its detour-guard distance limit.
-  auto deletable = [&](const NetWork& wk, std::int32_t skip_edge) {
-    bfs_from_source(wk, skip_edge);
-    for (std::size_t p = 0; p < wk.pin_locals.size(); ++p) {
-      const auto v = static_cast<std::size_t>(wk.pin_locals[p]);
-      if (visit_stamp[v] != stamp) return false;
-      if (visit_dist[v] > wk.pin_limits[p]) return false;
+  /// Adopt the source->pin parent paths of the BFS that just certified
+  /// every pin (still in scratch) as the net's positive certificate.
+  auto adopt_cert_paths = [&](NetWork& wk, std::size_t n) {
+    for (const std::int32_t ei : wk.cert_edges) {
+      ehot[wk.gid_base + static_cast<std::size_t>(ei)].meta &=
+          static_cast<std::uint8_t>(~kOnCertBit);
     }
-    return true;
+    wk.cert_edges.clear();
+    for (const std::int32_t pl : wk.pin_locals) {
+      std::int32_t v = pl;
+      while (v != wk.src_local) {
+        const std::int32_t ei = visit_parent[static_cast<std::size_t>(v)];
+        std::uint8_t& meta =
+            ehot[wk.gid_base + static_cast<std::size_t>(ei)].meta;
+        if (meta & kOnCertBit) break;  // joined an existing certified path
+        meta |= kOnCertBit;
+        wk.cert_edges.push_back(ei);
+        const LocalEdge& e = wk.edges[static_cast<std::size_t>(ei)];
+        v = (e.u == v) ? e.v : e.u;
+      }
+    }
+    net_cert_valid[n] = 1;
   };
+
+  // Iterative-DFS scratch for the bridge pass.
+  std::vector<std::int32_t> dfs_tin(max_vertices, 0), dfs_low(max_vertices, 0),
+      dfs_pins(max_vertices, 0), dfs_parent(max_vertices, -1),
+      dfs_cursor(max_vertices, 0);
+  std::vector<std::int32_t> dfs_stack;
+  dfs_stack.reserve(max_vertices);
+
+  /// Certificate refresh: one no-skip BFS to detect a frozen net (some pin
+  /// already unreachable or over-limit — then nothing is ever deletable
+  /// again) and to adopt fresh positive pin paths, then one DFS (Tarjan
+  /// lowlink) marking every bridge with a pin strictly behind it as
+  /// never-deletable. All three certificates are monotone under edge
+  /// removal, so they stay valid as deletion proceeds.
+  auto certify = [&](NetWork& wk, std::size_t n) {
+    wk.bfs_since_certify = 0;
+    if (!deletable_bfs(wk, -1)) {
+      // Frozen: some pin is already unreachable or over-limit with no edge
+      // skipped, so every remaining deletability verdict of this net is
+      // false regardless of how its graph shrinks further. Lock the whole
+      // remainder now — locking has no effect on shared statistics or on
+      // other nets — and erase the entries so the pop loop never touches
+      // them again.
+      net_frozen[n] = 1;
+      net_cert_valid[n] = 0;
+      for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
+        LocalEdge& e = wk.edges[ei];
+        if (e.state != kActive) continue;
+        e.state = kLocked;
+        std::uint8_t& meta = ehot[wk.gid_base + ei].meta;
+        meta = static_cast<std::uint8_t>((meta & ~kStateMask) | kLocked);
+        ++result.stats.edges_locked;
+        // Remove the heap entry in place: a mid-heap erase sifts only a
+        // level or two, where draining it later through the top would pay
+        // the full tree depth.
+        const auto gid = static_cast<std::int32_t>(wk.gid_base + ei);
+        if (heap.contains(gid)) heap.erase(gid);
+      }
+      return;
+    }
+    adopt_cert_paths(wk, n);
+    // The bridge pass only pays off where locks happen (bridges are what
+    // refuses deletion); skip it while the net is still deleting freely.
+    if (wk.locks_since_tarjan == 0) return;
+    wk.locks_since_tarjan = 0;
+    ++stamp;
+    std::int32_t timer = 0;
+    dfs_stack.clear();
+    const std::int32_t src = wk.src_local;
+    visit_stamp[static_cast<std::size_t>(src)] = stamp;
+    dfs_tin[static_cast<std::size_t>(src)] = timer++;
+    dfs_low[static_cast<std::size_t>(src)] = dfs_tin[static_cast<std::size_t>(src)];
+    dfs_pins[static_cast<std::size_t>(src)] =
+        wk.pin_index[static_cast<std::size_t>(src)] >= 0 ? 1 : 0;
+    dfs_parent[static_cast<std::size_t>(src)] = -1;
+    dfs_cursor[static_cast<std::size_t>(src)] =
+        wk.adj_offset[static_cast<std::size_t>(src)];
+    dfs_stack.push_back(src);
+    while (!dfs_stack.empty()) {
+      const std::int32_t v = dfs_stack.back();
+      const auto uv = static_cast<std::size_t>(v);
+      if (dfs_cursor[uv] < wk.adj_offset[uv + 1]) {
+        const std::int32_t ei =
+            wk.adj_edges[static_cast<std::size_t>(dfs_cursor[uv]++)];
+        if (ei == dfs_parent[uv]) continue;
+        const LocalEdge& e = wk.edges[static_cast<std::size_t>(ei)];
+        if (e.state != kActive) continue;
+        const std::int32_t other = (e.u == v) ? e.v : e.u;
+        const auto uo = static_cast<std::size_t>(other);
+        if (visit_stamp[uo] == stamp) {
+          dfs_low[uv] = std::min(dfs_low[uv], dfs_tin[uo]);
+        } else {
+          visit_stamp[uo] = stamp;
+          dfs_tin[uo] = timer++;
+          dfs_low[uo] = dfs_tin[uo];
+          dfs_pins[uo] = wk.pin_index[uo] >= 0 ? 1 : 0;
+          dfs_parent[uo] = ei;
+          dfs_cursor[uo] = wk.adj_offset[uo];
+          dfs_stack.push_back(other);
+        }
+      } else {
+        dfs_stack.pop_back();
+        const std::int32_t pei = dfs_parent[uv];
+        if (pei >= 0) {
+          const LocalEdge& e = wk.edges[static_cast<std::size_t>(pei)];
+          const std::int32_t parent = (e.u == v) ? e.v : e.u;
+          const auto up = static_cast<std::size_t>(parent);
+          dfs_low[up] = std::min(dfs_low[up], dfs_low[uv]);
+          dfs_pins[up] += dfs_pins[uv];
+          if (dfs_low[uv] > dfs_tin[up] && dfs_pins[uv] > 0) {
+            ehot[wk.gid_base + static_cast<std::size_t>(pei)].meta |=
+                kCertifiedBit;
+          }
+        }
+      }
+    }
+  };
+
+  // Seed every net's certificates once: degenerate (1-wide) bounding boxes
+  // are all bridges and never pay a single deletability BFS, and the
+  // initial pin paths let off-path edges delete without one either.
+  for (std::size_t n = 0; n < works.size(); ++n) {
+    if (!works[n].prerouted) certify(works[n], n);
+  }
 
   // ------------------------------------------------------------- deletion
+  //
+  // Pop semantics replicate the historical lazy-revalidation heap exactly:
+  // the heap key is the weight at the edge's last touch, and a popped-to-top
+  // entry whose *current* weight dropped by more than 1e-9 is re-keyed in
+  // place instead of processed. Because the old scheme kept exactly one
+  // live entry per active edge, the processing order here is identical —
+  // minus the duplicate-entry churn and the per-pop Eq. (2)/(3)
+  // recomputation, and without the old `max_reinserts_per_edge` safety cap
+  // (termination is structural: a re-key needs a strict weight drop, which
+  // needs an intervening deletion, and deletions are finite).
   while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    NetWork& wk = works[static_cast<std::size_t>(top.net)];
-    LocalEdge& e = wk.edges[static_cast<std::size_t>(top.edge)];
-    if (e.state != kActive) continue;
+    const auto [gid, stored] = heap.top();
+    const auto ugid = static_cast<std::size_t>(gid);
+    EdgeHot& h = ehot[ugid];
 
-    // Lazy revalidation: weights only decrease, so a stale (too-high) entry
-    // is reinserted at its current weight instead of being processed.
-    const double now = edge_weight(wk, e);
-    if (now < top.weight - 1e-9 &&
-        e.reinserts < options_.max_reinserts_per_edge) {
-      ++e.reinserts;
+    const double now = current_weight(h);
+    if (now < stored - 1e-9) {
       ++result.stats.reinserts;
-      heap.push(HeapEntry{now, top.net, top.edge});
+      heap.update(gid, now);
+      continue;
+    }
+    heap.pop();
+
+    const std::size_t n = static_cast<std::size_t>(gid_net[ugid]);
+    // Certificate verdict: 0 = lock (negative certificate, no BFS),
+    // 1 = delete (positive certificate: the certified pin paths survive
+    // this edge's removal), -1 = no certificate applies.
+    auto cert_verdict = [&]() -> int {
+      if (net_frozen[n] || (h.meta & kCertifiedBit)) {
+        // Locking removes this edge from the active pool; a positive
+        // certificate whose paths ran through it is no longer sound.
+        if (h.meta & kOnCertBit) net_cert_valid[n] = 0;
+        return 0;
+      }
+      if (net_cert_valid[n] && !(h.meta & kOnCertBit)) return 1;
+      return -1;
+    };
+    int verdict = cert_verdict();
+    if (verdict < 0) {
+      NetWork& wk = works[n];
+      if (wk.bfs_since_certify >= kCertifyInterval) {
+        certify(wk, n);
+        verdict = cert_verdict();  // the refresh may have decided it
+      }
+      if (verdict < 0) {
+        ++wk.bfs_since_certify;
+        const bool bfs_ok = deletable_bfs(
+            wk, static_cast<std::int32_t>(ugid - wk.gid_base));
+        if (bfs_ok) {
+          adopt_cert_paths(wk, n);  // fresh certificate excludes this edge
+        } else if (h.meta & kOnCertBit) {
+          net_cert_valid[n] = 0;  // locking breaks the certified paths
+        }
+        verdict = bfs_ok ? 1 : 0;
+      }
+    }
+    const bool ok = verdict == 1;
+
+    NetWork& wk = works[n];
+    LocalEdge& e = wk.edges[ugid - wk.gid_base];
+    if (!ok) {
+      if (e.state == kActive) {  // may already be bulk-locked by a freeze
+        e.state = kLocked;  // a pin-bridge (or guard-essential edge) stays
+        h.meta = static_cast<std::uint8_t>((h.meta & ~kStateMask) | kLocked);
+        ++result.stats.edges_locked;
+        ++wk.locks_since_tarjan;
+      }
       continue;
     }
 
-    if (!deletable(wk, top.edge)) {
-      e.state = kLocked;  // a pin-bridge (or guard-essential edge) stays
-      ++result.stats.edges_locked;
-      continue;
-    }
-
-    // Delete the edge and update presence statistics.
+    // Delete the edge and update presence statistics incrementally.
     e.state = kDeleted;
+    h.meta = static_cast<std::uint8_t>((h.meta & ~kStateMask) | kDeleted);
     ++result.stats.edges_deleted;
+    const int d = h.dir;
     bool lost_region = false;
     for (const std::int32_t v : {e.u, e.v}) {
-      auto& cnt = wk.incident[static_cast<std::size_t>(v)][e.dir];
+      auto& cnt = wk.incident[static_cast<std::size_t>(v)][d];
       --cnt;
       if (cnt == 0) {
-        stats.add(grid_->index(wk.global(v)), e.dir, -wk.weight_applied[e.dir],
-                  wk.si);
-        --wk.active_regions[e.dir];
+        const auto region = static_cast<std::size_t>(
+            wk.region_idx[static_cast<std::size_t>(v)]);
+        stats.add(region, d, -wk.weight_applied[d], wk.si);
+        mark_dirty(region, d);
+        wk.drop_active_vertex(d, v);
+        --wk.active_regions[d];
         lost_region = true;
       }
     }
-    if (lost_region) rebalance(wk, e.dir);
+    if (lost_region) {
+      // Rebalance this net's fractional demand over its maintained
+      // active-vertex list (the per-region weight moves toward 1).
+      const double target = wk.target_weight(d);
+      const double delta = target - wk.weight_applied[d];
+      if (std::abs(delta) >= 1e-12) {
+        for (std::int32_t i = 0; i < wk.active_count[d]; ++i) {
+          const std::int32_t v =
+              wk.active_vertices[d][static_cast<std::size_t>(i)];
+          const auto region = static_cast<std::size_t>(
+              wk.region_idx[static_cast<std::size_t>(v)]);
+          stats.add(region, d, delta, wk.si);
+          mark_dirty(region, d);
+        }
+        wk.weight_applied[d] = target;
+      }
+    }
   }
 
   // ------------------------------------------------------------- collect
@@ -462,6 +822,9 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   // and keep only the edges on some source->pin path. This preserves the
   // guard's path-length certificates while dropping redundant edges.
   std::vector<std::int32_t> parent_edge(max_vertices, -1);
+  std::vector<std::uint32_t> edge_seen(max_edges, 0);
+  std::uint32_t seen_epoch = 0;
+  std::vector<std::int32_t> kept;
   for (std::size_t n = 0; n < works.size(); ++n) {
     NetWork& wk = works[n];
     NetRoute& route = result.routes[n];
@@ -492,14 +855,19 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
       }
     }
 
-    // Union of source->pin parent paths.
-    std::unordered_set<std::int32_t> kept;
+    // Union of source->pin parent paths (stamped edge set, no hashing).
+    ++seen_epoch;
+    kept.clear();
     for (const std::int32_t pl : wk.pin_locals) {
       std::int32_t v = pl;
       while (v != wk.src_local &&
              visit_stamp[static_cast<std::size_t>(v)] == stamp) {
         const std::int32_t ei = parent_edge[static_cast<std::size_t>(v)];
-        if (ei < 0 || !kept.insert(ei).second) break;  // joined existing path
+        if (ei < 0 || edge_seen[static_cast<std::size_t>(ei)] == seen_epoch) {
+          break;  // joined an existing path
+        }
+        edge_seen[static_cast<std::size_t>(ei)] = seen_epoch;
+        kept.push_back(ei);
         const LocalEdge& e = wk.edges[static_cast<std::size_t>(ei)];
         v = (e.u == v) ? e.v : e.u;
       }

@@ -17,9 +17,37 @@
 //     (Nns, sum Si, sum Si^2) — this is what reserves and minimizes
 //     shielding area during routing and spreads sensitive nets;
 //   - HOFR: relative overflow.
-// Edge weights only decrease as deletion proceeds, so the max-heap uses
-// lazy revalidation: a popped entry whose recomputed weight dropped is
-// reinserted instead of processed.
+//
+// The paper's Section 5 observation that ID dominates GSINO's runtime makes
+// this file the Phase I hot path, so the deletion loop runs as an
+// incremental engine:
+//   - one indexed d-ary max-heap entry per candidate edge
+//     (util/indexed_heap.h) with in-place update-key. The key is the weight
+//     at the edge's last touch and a popped-to-top entry whose current
+//     weight dropped is re-keyed instead of processed — the exact
+//     processing order of the historical lazy-revalidation
+//     std::priority_queue (which held one live entry per edge), without
+//     duplicate-entry churn or a reinsert cap;
+//   - per-(region, dir) density/overflow caches with stale flags: a stats
+//     change marks the touched regions, the Eq. (2)/(3) derivation reruns
+//     once per touched region at its next read, and a pop re-weighs its
+//     edge from two cached records instead of four from-scratch density
+//     derivations. (An eager region->edge inverted re-weigh index was
+//     measured first and lost: rebalances touch O(net) regions each, so
+//     propagating every change to every touching edge costs far more than
+//     re-weighing the one popped edge on demand.);
+//   - deletability checks are early-exit bounded BFS (stop once every pin
+//     is certified within its detour limit, or as soon as certification is
+//     impossible), and most pops skip BFS entirely via three monotone
+//     certificates: an edge off the last certified source->pin path family
+//     is deletable (the paths survive its removal); a bridge with a pin
+//     behind it is never deletable; and a net whose pins already fail with
+//     no edge skipped is frozen — its whole remainder bulk-locks at once.
+//     Edge removal can only shrink the graph, so certificates stay valid
+//     until a pop touches them;
+//   - demand rebalancing walks maintained per-direction active-vertex
+//     lists instead of rescanning the whole bounding box, and per-net
+//     arrays are carved from shared arenas (three allocations total).
 //
 // Nets whose bounding box exceeds a size threshold would contribute
 // enormous connection graphs (the classic ID scalability problem the paper
@@ -50,8 +78,6 @@ struct IdRouterOptions {
   /// Pin bounding boxes with more regions than this are pre-routed on
   /// their RSMT instead of entering the deletion pool.
   std::size_t huge_net_bbox_threshold = 600;
-  /// Safety cap on lazy-heap reinsertions per edge.
-  int max_reinserts_per_edge = 64;
   /// Detour guard: a deletion is refused when it would leave some sink's
   /// shortest path from the source longer than
   ///   max_detour_factor * manhattan(source, sink) + detour_slack.

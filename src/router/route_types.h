@@ -33,6 +33,22 @@ inline GridEdge make_edge(geom::Point p, geom::Point q) {
   return (q < p) ? GridEdge{q, p} : GridEdge{p, q};
 }
 
+/// Hash for canonical grid edges. The combiner is order-sensitive and runs
+/// the mix through a SplitMix64 finalizer, unlike the earlier
+/// `h(a)*1000003 ^ h(b)` local helpers, whose XOR made symmetric pairs and
+/// axis-translated edges collide systematically.
+struct GridEdgeHash {
+  std::size_t operator()(const GridEdge& e) const noexcept {
+    const std::hash<geom::Point> h;
+    std::uint64_t z = static_cast<std::uint64_t>(h(e.a));
+    z ^= static_cast<std::uint64_t>(h(e.b)) + 0x9e3779b97f4a7c15ULL + (z << 6) +
+         (z >> 2);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
 /// The routed tree of one net over the region graph.
 struct NetRoute {
   std::int32_t net_id = -1;

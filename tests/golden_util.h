@@ -1,0 +1,66 @@
+// Shared helpers for the golden-seed regression tests: a route hash that
+// pins exact edges and a presence-overflow metric. One definition so the
+// pinned values in router_test.cpp and integration_test.cpp are guaranteed
+// to use the same functions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "grid/region_grid.h"
+#include "router/route_types.h"
+
+namespace rlcr::router {
+
+/// FNV-1a over every net's (id, edge count, sorted edge list).
+inline std::uint64_t route_hash(const RoutingResult& res) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&](std::int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const NetRoute& r : res.routes) {
+    mix(r.net_id);
+    mix(static_cast<std::int64_t>(r.edges.size()));
+    for (const GridEdge& e : r.edges) {
+      mix(e.a.x);
+      mix(e.a.y);
+      mix(e.b.x);
+      mix(e.b.y);
+    }
+  }
+  return h;
+}
+
+/// Presence overflow: one track per (region, dir) a net touches, summed
+/// over capacity.
+inline double total_overflow(const grid::RegionGrid& g,
+                             const RoutingResult& res) {
+  std::vector<double> usage[2];
+  for (auto& u : usage) u.assign(g.region_count(), 0.0);
+  for (const NetRoute& r : res.routes) {
+    std::vector<std::uint8_t> seen(g.region_count() * 2, 0);
+    for (const GridEdge& e : r.edges) {
+      const int d = static_cast<int>(e.dir());
+      for (const geom::Point p : {e.a, e.b}) {
+        auto& s = seen[g.index(p) * 2 + static_cast<unsigned>(d)];
+        if (!s) {
+          s = 1;
+          usage[d][g.index(p)] += 1.0;
+        }
+      }
+    }
+  }
+  double over = 0.0;
+  for (int d = 0; d < 2; ++d) {
+    for (std::size_t r = 0; r < g.region_count(); ++r) {
+      over += std::max(0.0, usage[d][r] - g.capacity(static_cast<grid::Dir>(d)));
+    }
+  }
+  return over;
+}
+
+}  // namespace rlcr::router

@@ -7,6 +7,8 @@
 #include "core/flow.h"
 #include "core/refine.h"
 
+#include "golden_util.h"
+
 namespace rlcr::gsino {
 namespace {
 
@@ -120,6 +122,38 @@ TEST(Integration, DeterministicEndToEnd) {
   EXPECT_DOUBLE_EQ(a.total_shields, b.total_shields);
   EXPECT_DOUBLE_EQ(a.area.width_um, b.area.width_um);
   EXPECT_EQ(a.violating, b.violating);
+}
+
+// ---------------------------------------------------- golden regression
+//
+// End-to-end flow values captured from the pre-incremental (seed) router:
+// any change to Phase I deletion order, weights, or tie-breaks shows up
+// here as a wirelength/violation/route-hash drift.
+
+TEST(IntegrationGolden, ThreeFlowsPinnedAtRateHalf) {
+  const Pipeline pipe(0.5);
+  const RoutingProblem p = pipe.problem();
+  const FlowRunner flows(p);
+
+  const FlowResult idno = flows.run(FlowKind::kIdNo);
+  EXPECT_DOUBLE_EQ(idno.total_wirelength_um, 132650.0);
+  EXPECT_EQ(idno.violating, 86u);
+  EXPECT_DOUBLE_EQ(idno.total_shields, 0.0);
+  EXPECT_NEAR(idno.area.area_um2(), 925295.13888888876, 1e-6);
+  EXPECT_EQ(router::route_hash(idno.routing), 13497901764394341437ULL);
+
+  const FlowResult isino = flows.run(FlowKind::kIsino);
+  EXPECT_DOUBLE_EQ(isino.total_wirelength_um, 132650.0);
+  EXPECT_EQ(isino.violating, 0u);
+  EXPECT_DOUBLE_EQ(isino.total_shields, 1002.0);
+  EXPECT_EQ(router::route_hash(isino.routing), 13497901764394341437ULL);
+
+  const FlowResult gsino_r = flows.run(FlowKind::kGsino);
+  EXPECT_DOUBLE_EQ(gsino_r.total_wirelength_um, 134150.0);
+  EXPECT_EQ(gsino_r.violating, 0u);
+  EXPECT_DOUBLE_EQ(gsino_r.total_shields, 931.0);
+  EXPECT_NEAR(gsino_r.area.area_um2(), 1413194.4444444443, 1e-6);
+  EXPECT_EQ(router::route_hash(gsino_r.routing), 12686260652761461465ULL);
 }
 
 TEST(Integration, SeedChangesOutcome) {

@@ -11,6 +11,8 @@
 #include "sino/nss.h"
 #include "util/rng.h"
 
+#include "golden_util.h"
+
 namespace rlcr::router {
 namespace {
 
@@ -284,6 +286,175 @@ TEST(Maze, TwoPinShortestWhenUncongested) {
   nets[0].pins = {{0, 0}, {4, 3}};
   const RoutingResult res = maze.route(nets);
   EXPECT_EQ(res.routes[0].edges.size(), 7u);  // Manhattan distance
+}
+
+// ---------------------------------------------------- golden regression
+//
+// Values captured from the pre-incremental (seed) router implementation on
+// fixed generator seeds. They pin exact routes (an FNV-1a hash over every
+// net's sorted edge list), wire length, presence overflow, and the deletion
+// outcome counts, proving the incremental engine (indexed heap, lazy
+// density caches, bounded BFS, certificates) is behavior-preserving.
+// The internal `reinserts` counter is deliberately NOT pinned: frozen nets
+// now bulk-lock without per-pop revalidation, which changes how often heap
+// keys are re-touched but not any routing decision.
+
+std::size_t total_edges(const RoutingResult& res) {
+  std::size_t n = 0;
+  for (const NetRoute& r : res.routes) n += r.edges.size();
+  return n;
+}
+
+TEST(IdRouterGolden, Grid12Seed5) {
+  const grid::RegionGrid g = make_grid();
+  const sino::NssModel nss;
+  const RoutingResult res = IdRouter(g, nss).route(random_nets(g, 120, 5));
+  EXPECT_DOUBLE_EQ(res.total_wirelength_um, 21865.0);
+  EXPECT_EQ(total_edges(res), 972u);
+  EXPECT_EQ(route_hash(res), 4419766033887167485ULL);
+  EXPECT_DOUBLE_EQ(total_overflow(g, res), 30.0);
+  EXPECT_EQ(res.stats.edges_deleted, 1229u);
+  EXPECT_EQ(res.stats.edges_locked, 2633u);
+}
+
+TEST(IdRouterGolden, Grid12Seed31) {
+  const grid::RegionGrid g = make_grid();
+  const sino::NssModel nss;
+  const RoutingResult res = IdRouter(g, nss).route(random_nets(g, 60, 31));
+  EXPECT_DOUBLE_EQ(res.total_wirelength_um, 11605.0);
+  EXPECT_EQ(total_edges(res), 514u);
+  EXPECT_EQ(route_hash(res), 17639182734577684655ULL);
+  EXPECT_DOUBLE_EQ(total_overflow(g, res), 0.0);
+}
+
+TEST(IdRouterGolden, Grid16Seed21) {
+  const grid::RegionGrid g = make_grid(16, 16);
+  const sino::NssModel nss;
+  const RoutingResult res = IdRouter(g, nss).route(random_nets(g, 150, 21, 6));
+  EXPECT_DOUBLE_EQ(res.total_wirelength_um, 42050.0);
+  EXPECT_EQ(total_edges(res), 1872u);
+  EXPECT_EQ(route_hash(res), 13807695867672252962ULL);
+  EXPECT_DOUBLE_EQ(total_overflow(g, res), 125.0);
+  EXPECT_EQ(res.stats.edges_deleted, 2697u);
+  EXPECT_EQ(res.stats.edges_locked, 6973u);
+}
+
+TEST(IdRouterGolden, Grid10HighSensitivity) {
+  const grid::RegionGrid g = make_grid(10, 10, 4);
+  const sino::NssModel nss;
+  auto nets = random_nets(g, 100, 41);
+  for (auto& n : nets) n.si = 0.6;
+  const RoutingResult res = IdRouter(g, nss).route(nets);
+  EXPECT_DOUBLE_EQ(res.total_wirelength_um, 16550.0);
+  EXPECT_EQ(route_hash(res), 10488068979805551661ULL);
+  EXPECT_DOUBLE_EQ(total_overflow(g, res), 408.0);
+}
+
+TEST(IdRouterGolden, Grid32Seed7) {
+  const grid::RegionGrid g = make_grid(32, 32, 12);
+  const sino::NssModel nss;
+  const RoutingResult res = IdRouter(g, nss).route(random_nets(g, 300, 7, 5));
+  EXPECT_DOUBLE_EQ(res.total_wirelength_um, 75220.0);
+  EXPECT_EQ(total_edges(res), 3346u);
+  EXPECT_EQ(route_hash(res), 12328737626875344377ULL);
+  EXPECT_EQ(res.stats.edges_deleted, 5271u);
+  EXPECT_EQ(res.stats.edges_locked, 11392u);
+}
+
+TEST(IdRouterGolden, PreRoutedHugeNet) {
+  const grid::RegionGrid g = make_grid(24, 24);
+  const sino::NssModel nss;
+  IdRouterOptions opt;
+  opt.huge_net_bbox_threshold = 20;
+  std::vector<RouterNet> nets(1);
+  nets[0].id = 0;
+  nets[0].pins = {{0, 0}, {20, 15}, {3, 18}};
+  const RoutingResult res = IdRouter(g, nss, opt).route(nets);
+  EXPECT_DOUBLE_EQ(res.total_wirelength_um, 850.0);
+  EXPECT_EQ(total_edges(res), 38u);
+  EXPECT_EQ(route_hash(res), 13553872594035981539ULL);
+}
+
+// Dijkstra mode reproduces the seed maze router bit for bit.
+TEST(MazeGolden, DijkstraModeMatchesSeed) {
+  MazeOptions opt;
+  opt.use_astar = false;
+  {
+    const grid::RegionGrid g = make_grid();
+    const RoutingResult res = MazeRouter(g, opt).route(random_nets(g, 100, 17));
+    EXPECT_DOUBLE_EQ(res.total_wirelength_um, 15795.0);
+    EXPECT_EQ(total_edges(res), 702u);
+    EXPECT_EQ(route_hash(res), 6889147554860165043ULL);
+    EXPECT_DOUBLE_EQ(total_overflow(g, res), 2.0);
+  }
+  {
+    const grid::RegionGrid g = make_grid(8, 8, 1);
+    const RoutingResult res = MazeRouter(g, opt).route(random_nets(g, 40, 23));
+    EXPECT_DOUBLE_EQ(res.total_wirelength_um, 6415.0);
+    EXPECT_EQ(total_edges(res), 287u);
+    EXPECT_EQ(route_hash(res), 227774984786367575ULL);
+  }
+  {
+    const grid::RegionGrid g = make_grid(32, 32, 12);
+    const RoutingResult res = MazeRouter(g, opt).route(random_nets(g, 200, 9, 5));
+    EXPECT_DOUBLE_EQ(res.total_wirelength_um, 41860.0);
+    EXPECT_EQ(total_edges(res), 1855u);
+    EXPECT_EQ(route_hash(res), 16457129758403932149ULL);
+  }
+}
+
+// A* (the default) keeps path costs but may break equal-cost ties
+// differently; these goldens were captured at introduction and pin the
+// default-mode behavior against future regressions.
+TEST(MazeGolden, AStarDefaultMode) {
+  {
+    const grid::RegionGrid g = make_grid();
+    const RoutingResult res = MazeRouter(g).route(random_nets(g, 100, 17));
+    EXPECT_DOUBLE_EQ(res.total_wirelength_um, 15795.0);
+    EXPECT_EQ(route_hash(res), 6889147554860165043ULL);
+  }
+  {
+    const grid::RegionGrid g = make_grid(8, 8, 1);
+    const RoutingResult res = MazeRouter(g).route(random_nets(g, 40, 23));
+    EXPECT_DOUBLE_EQ(res.total_wirelength_um, 6460.0);
+    EXPECT_EQ(total_edges(res), 289u);
+    EXPECT_EQ(route_hash(res), 14270321430572745393ULL);
+  }
+  {
+    const grid::RegionGrid g = make_grid(32, 32, 12);
+    const RoutingResult res = MazeRouter(g).route(random_nets(g, 200, 9, 5));
+    EXPECT_DOUBLE_EQ(res.total_wirelength_um, 41860.0);
+    EXPECT_EQ(route_hash(res), 16457129758403932149ULL);
+  }
+}
+
+// Where the workload is uncongested, A* and Dijkstra must agree on cost
+// exactly even when tie shapes differ.
+TEST(MazeGolden, AStarPreservesPathCostsWhenUncongested) {
+  const grid::RegionGrid g = make_grid(20, 20, 16);
+  const auto nets = random_nets(g, 80, 77, 5);
+  MazeOptions dij;
+  dij.use_astar = false;
+  const RoutingResult a = MazeRouter(g).route(nets);
+  const RoutingResult b = MazeRouter(g, dij).route(nets);
+  EXPECT_DOUBLE_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    EXPECT_TRUE(a.routes[i].connects(nets[i].pins)) << "net " << i;
+  }
+}
+
+TEST(MazeGolden, OptionsStillRouteEverything) {
+  const grid::RegionGrid g = make_grid(16, 16, 2);
+  const auto nets = random_nets(g, 120, 99, 6);
+  for (const bool astar : {false, true}) {
+    MazeOptions opt;
+    opt.use_astar = astar;
+    const RoutingResult res = MazeRouter(g, opt).route(nets);
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      EXPECT_TRUE(res.routes[i].connects(nets[i].pins))
+          << (astar ? "A*" : "dijkstra") << " net " << i;
+    }
+  }
 }
 
 TEST(Maze, OrderDependenceExists) {

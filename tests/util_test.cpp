@@ -3,7 +3,12 @@
 #include <cmath>
 #include <sstream>
 
+#include <limits>
+#include <utility>
+#include <vector>
+
 #include "util/csv.h"
+#include "util/indexed_heap.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -300,6 +305,61 @@ TEST(Csv, WritesAndQuotes) {
   std::getline(in, line2);
   EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
   EXPECT_EQ(line2, "1.5,2.5");
+}
+
+// ------------------------------------------------------- IndexedMaxHeap
+
+TEST(IndexedMaxHeap, PopsInKeyThenIdOrder) {
+  IndexedMaxHeap h(8);
+  h.push(0, 1.0);
+  h.push(1, 3.0);
+  h.push(2, 3.0);  // equal keys: larger id wins
+  h.push(3, 2.0);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.pop(), (std::pair<std::int32_t, double>{2, 3.0}));
+  EXPECT_EQ(h.pop(), (std::pair<std::int32_t, double>{1, 3.0}));
+  EXPECT_EQ(h.pop(), (std::pair<std::int32_t, double>{3, 2.0}));
+  EXPECT_EQ(h.pop(), (std::pair<std::int32_t, double>{0, 1.0}));
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedMaxHeap, UpdateMovesBothDirections) {
+  IndexedMaxHeap h(4);
+  h.push(0, 5.0);
+  h.push(1, 4.0);
+  h.push(2, 3.0);
+  h.update(0, 1.0);  // decrease the max
+  EXPECT_EQ(h.top().first, 1);
+  h.update(2, 9.0);  // increase from below
+  EXPECT_EQ(h.top().first, 2);
+  h.erase(1);
+  EXPECT_EQ(h.pop().first, 2);
+  EXPECT_EQ(h.pop().first, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedMaxHeap, BulkBuildMatchesSequentialPushes) {
+  std::vector<IndexedMaxHeap::Entry> entries;
+  util::Xoshiro256 rng(7);
+  for (std::int32_t i = 0; i < 500; ++i) {
+    entries.push_back({static_cast<double>(rng.below(50)), i});
+  }
+  IndexedMaxHeap bulk(entries.size()), seq(entries.size());
+  bulk.build(entries);
+  for (const auto& e : entries) seq.push(e.id, e.key);
+  while (!bulk.empty()) {
+    ASSERT_FALSE(seq.empty());
+    EXPECT_EQ(bulk.pop(), seq.pop());
+  }
+  EXPECT_TRUE(seq.empty());
+}
+
+TEST(IndexedMaxHeap, BulkBuildHandlesTinySizes) {
+  IndexedMaxHeap h(2);
+  h.build({});  // must not touch an empty heap
+  EXPECT_TRUE(h.empty());
+  h.build({{1.5, 0}});
+  EXPECT_EQ(h.pop(), (std::pair<std::int32_t, double>{0, 1.5}));
 }
 
 // -------------------------------------------------------------- Stopwatch

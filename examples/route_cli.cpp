@@ -38,6 +38,7 @@ struct CliOptions {
   double outline_w = 0.0, outline_h = 0.0;
   int grid_x = 64, grid_y = 64;
   int cap_h = 20, cap_v = 18;
+  int threads = 0;  // 0 = auto; results are identical at any value
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -53,6 +54,8 @@ struct CliOptions {
       "  --bound V                crosstalk bound in volts (default 0.15)\n"
       "  --flow idno|isino|gsino|all (default gsino)\n"
       "  --seed N                 master seed (default 1)\n"
+      "  --threads N              pool workers for routing + Phase II\n"
+      "                           (default auto; output identical at any N)\n"
       "  --noise-csv FILE         dump per-net LSK/noise\n",
       argv0);
   std::exit(2);
@@ -113,6 +116,8 @@ int main(int argc, char** argv) {
       opt.flow = next();
     } else if (!std::strcmp(argv[i], "--seed")) {
       opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      opt.threads = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--noise-csv")) {
       opt.noise_csv = next();
     } else {
@@ -124,6 +129,8 @@ int main(int argc, char** argv) {
   params.sensitivity_rate = opt.rate;
   params.crosstalk_bound_v = opt.bound_v;
   params.seed = opt.seed;
+  params.threads = opt.threads;
+  params.router.threads = opt.threads;
 
   // ---- assemble netlist + grid.
   netlist::Netlist design;

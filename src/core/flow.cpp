@@ -6,9 +6,10 @@
 
 #include "core/paths.h"
 #include "core/refine.h"
+#include "parallel/parallel_for.h"
 #include "sino/anneal.h"
+#include "sino/batch.h"
 #include "sino/greedy.h"
-#include "sino/net_order.h"
 #include "util/stopwatch.h"
 
 namespace rlcr::gsino {
@@ -72,30 +73,6 @@ RegionSolution build_region(const RoutingProblem& problem,
     }
   }
   return sol;
-}
-
-/// Solve one region according to the flow kind; fills slots and ki.
-void solve_region(RegionSolution& sol, const RoutingProblem& problem,
-                  FlowKind kind) {
-  if (sol.empty()) return;
-  const auto& keff = problem.keff();
-  if (kind == FlowKind::kIdNo) {
-    sol.slots = sino::solve_net_order(sol.instance, keff).slots;
-  } else {
-    sol.slots = sino::solve_greedy(sol.instance, keff);
-    if (problem.params().anneal_phase2) {
-      const sino::SinoEvaluator eval(sol.instance, keff);
-      if (!eval.check(sol.slots).feasible()) {
-        sino::AnnealOptions ao;
-        ao.seed = problem.params().seed ^ (sol.net_index.front() * 977u);
-        ao.iterations = problem.params().anneal_iterations;
-        const auto best = sino::solve_anneal(sol.instance, keff, ao);
-        if (best.feasible) sol.slots = best.slots;
-      }
-    }
-  }
-  const sino::SinoEvaluator eval(sol.instance, keff);
-  sol.ki = eval.all_ki(sol.slots);
 }
 
 }  // namespace
@@ -229,19 +206,57 @@ FlowResult FlowRunner::run(FlowKind kind) const {
   }
 
   // ----------------------------------------------------------- Phase II
+  //
+  // Every (region, dir) SINO instance is independent: the instances are
+  // built with a parallel map, solved across the pool by the batch driver
+  // (sino/batch.h, each region with its own deterministic RNG stream), and
+  // the LSK/shield accumulation replays serially in the historical
+  // (region, dir) order — so the phase's output is bit-identical at any
+  // thread count, threads == 1 being the exact serial path.
   watch.reset();
   const std::size_t regions = p.grid().region_count();
-  fr.solutions.resize(regions * 2);
+  const std::size_t sol_count = regions * 2;
   fr.net_lsk.assign(p.net_count(), 0.0);
   fr.net_noise.assign(p.net_count(), 0.0);
+
+  constexpr std::size_t kRegionGrain = 32;  // instances per chunk (fixed)
+  fr.solutions = parallel::parallel_map<RegionSolution>(
+      sol_count, kRegionGrain, p.params().threads, [&](std::size_t si) {
+        return build_region(p, *fr.occupancy, si / 2,
+                            static_cast<grid::Dir>(si % 2), fr.kth,
+                            path_lookup);
+      });
+
+  std::vector<sino::SinoBatchItem> items(sol_count);
+  for (std::size_t si = 0; si < sol_count; ++si) {
+    const RegionSolution& sol = fr.solutions[si];
+    if (sol.empty()) continue;
+    sino::SinoBatchItem& item = items[si];
+    item.instance = &sol.instance;
+    if (kind == FlowKind::kIdNo) {
+      item.mode = sino::SinoSolveMode::kNetOrder;
+    } else if (p.params().anneal_phase2) {
+      item.mode = sino::SinoSolveMode::kGreedyAnneal;
+      // The historical per-region stream seed, preserved so annealed
+      // Phase II results stay identical to the pre-batch flow.
+      item.anneal_seed = p.params().seed ^ (sol.net_index.front() * 977u);
+      item.anneal_iterations = p.params().anneal_iterations;
+    } else {
+      item.mode = sino::SinoSolveMode::kGreedy;
+    }
+  }
+  sino::SinoBatchOptions bopt;
+  bopt.threads = p.params().threads;
+  std::vector<sino::SinoBatchResult> solved =
+      sino::solve_batch(items, p.keff(), bopt);
 
   for (std::size_t r = 0; r < regions; ++r) {
     for (grid::Dir d : grid::kBothDirs) {
       const std::size_t si = fr.sol_index(r, d);
       RegionSolution& sol = fr.solutions[si];
-      sol = build_region(p, *fr.occupancy, r, d, fr.kth, path_lookup);
       if (sol.empty()) continue;
-      solve_region(sol, p, kind);
+      sol.slots = std::move(solved[si].slots);
+      sol.ki = std::move(solved[si].ki);
       for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
         fr.net_lsk[sol.net_index[i]] += sol.path_len_mm[i] * sol.ki[i];
       }

@@ -16,6 +16,12 @@ struct GsinoParams {
   double sensitivity_rate = 0.30;
   /// Master seed (sensitivity graph, solver tie-breaking).
   std::uint64_t seed = 1;
+  /// Pool participants for the parallel phases (Phase II region builds and
+  /// SINO batch solves; Phase I has its own knob in router.threads).
+  /// 0 = auto (RLCR_THREADS env var, else hardware concurrency); 1 = exact
+  /// serial path. Flow results are bit-identical at every value — see
+  /// src/parallel/README.md for the determinism contract.
+  int threads = 0;
 
   router::IdRouterOptions router;       ///< Eq. (2) weights etc.
   ktable::KeffParams keff;              ///< coupling model

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/parallel_for.h"
 #include "util/rng.h"
 
 namespace rlcr::ktable {
@@ -59,20 +60,45 @@ std::vector<LskSample> LskTableBuilder::sample(
   sim.t_stop = options_.sim_t_stop;
   sim.dt = options_.sim_dt;
 
-  std::vector<LskSample> out;
-  out.reserve(options_.lengths_um.size() *
-              static_cast<std::size_t>(options_.samples_per_length));
+  // Sample-point generation stays serial: the assignments are cheap draws
+  // off ONE sequential RNG stream, and keeping that stream untouched keeps
+  // the sample set bit-identical to the historical single-threaded builder
+  // at every thread count. Only the expensive part — the MNA transient
+  // simulation of each kept assignment — fans out across the pool, and the
+  // results are assembled back in generation order.
+  struct Pending {
+    Assignment a;
+    double ki = 0.0;
+    double length_um = 0.0;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(options_.lengths_um.size() *
+                  static_cast<std::size_t>(options_.samples_per_length));
   for (double len : options_.lengths_um) {
     for (int s = 0; s < options_.samples_per_length; ++s) {
-      const Assignment a =
-          random_assignment(options_.tracks, len, options_.segments, rng);
+      Pending p;
+      p.a = random_assignment(options_.tracks, len, options_.segments, rng);
       // Every aggressor is sensitive to the victim in the calibration set.
-      const double ki = keff.total_coupling(
-          a.slots, a.victim_slot, [](Slot net) { return net > 0; });
-      if (ki <= 0.0) continue;  // no aggressors sampled; skip
-      const double noise = circuit::simulate_victim_noise(a.bus, tech, sim);
-      out.push_back(LskSample{len / 1000.0 * ki, noise, len, ki});
+      p.ki = keff.total_coupling(p.a.slots, p.a.victim_slot,
+                                 [](Slot net) { return net > 0; });
+      if (p.ki <= 0.0) continue;  // no aggressors sampled; skip
+      p.length_um = len;
+      pending.push_back(std::move(p));
     }
+  }
+
+  constexpr std::size_t kSimGrain = 1;  // one simulation per chunk (fixed)
+  const std::vector<double> noise = parallel::parallel_map<double>(
+      pending.size(), kSimGrain, options_.threads, [&](std::size_t i) {
+        return circuit::simulate_victim_noise(pending[i].a.bus, tech, sim);
+      });
+
+  std::vector<LskSample> out;
+  out.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const Pending& p = pending[i];
+    out.push_back(
+        LskSample{p.length_um / 1000.0 * p.ki, noise[i], p.length_um, p.ki});
   }
   return out;
 }

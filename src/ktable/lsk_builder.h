@@ -38,6 +38,12 @@ struct LskBuilderOptions {
   double fit_v_lo = 0.04;
   double fit_v_hi = 0.32;
   std::uint64_t seed = 2002;
+  /// Pool participants for sample-point evaluation (the MNA transient
+  /// simulations; assignment generation stays serial so the RNG stream —
+  /// and hence the sample set — is bit-identical at every value).
+  /// 0 = auto (RLCR_THREADS env var, else hardware concurrency); 1 = the
+  /// exact serial path.
+  int threads = 0;
 };
 
 /// One calibration point: a simulated single-region solution.

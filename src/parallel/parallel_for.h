@@ -1,0 +1,131 @@
+// Deterministic chunked algorithms over the shared thread pool.
+//
+// The determinism contract (see src/parallel/README.md):
+//   - Work over [0, n) is split into chunks whose boundaries are a pure
+//     function of n and the caller's grain — chunk c covers
+//     [c * grain, min(n, (c + 1) * grain)) — never of the thread count or
+//     of runtime scheduling.
+//   - Workers pull chunk indices from a shared counter, so WHICH worker
+//     executes a chunk is scheduling-dependent; everything a chunk computes
+//     must therefore depend only on the chunk (the worker id parameter is
+//     for scratch reuse only).
+//   - Whatever is combined across chunks — ordered_reduce partials,
+//     exceptions — is combined on the calling thread in ascending chunk
+//     order. Floating-point accumulation order is thus fixed, and results
+//     are bit-identical at any thread count, including 1.
+//   - threads <= 1 (after resolve_threads) executes the chunks inline on
+//     the calling thread in ascending order without touching the pool: the
+//     exact serial path, which makes existing single-threaded goldens the
+//     determinism oracle for every other thread count.
+//
+// Exceptions: every chunk body is wrapped; after all chunks ran, the
+// exception of the LOWEST-index throwing chunk is rethrown (deterministic).
+// The serial path stops at the throwing chunk instead of running the rest —
+// the rethrown exception is identical, but side effects of later chunks may
+// differ between serial and pooled execution when a body throws.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace rlcr::parallel {
+
+/// Number of chunks a range of n items splits into at the given grain.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  return grain == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// Static-chunked parallel loop. Invokes
+///   body(begin, end, worker)
+/// once per chunk; `worker` is in [0, resolve_threads(threads)) and
+/// identifies the executing participant for scratch reuse only.
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t grain, int threads, Body&& body) {
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+  const int workers = resolve_threads(threads);
+  if (workers <= 1 || chunks == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body(c * grain, std::min(n, (c + 1) * grain), 0);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(chunks);
+  std::atomic<bool> failed{false};
+  const int helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(workers) - 1, chunks - 1);
+  ThreadPool::global().run(helpers, [&](int worker) {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      try {
+        body(c * grain, std::min(n, (c + 1) * grain), worker);
+      } catch (...) {
+        // Every chunk still runs (skipping on failure would make the set of
+        // executed chunks scheduling-dependent); the lowest chunk's
+        // exception wins deterministically below.
+        errors[c] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  if (failed.load(std::memory_order_relaxed)) {
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+}
+
+/// Elementwise map: out[i] = fn(i) for i in [0, n). T must be
+/// default-constructible (slots are preallocated; each is written by exactly
+/// one chunk, so the result is independent of scheduling by construction).
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, std::size_t grain, int threads,
+                            Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, grain, threads, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// Ordered deterministic reduce: workers produce one Partial per chunk
+///   produce(begin, end, worker) -> Partial
+/// and the calling thread combines them in ascending chunk order
+///   combine(chunk_index, Partial&&)
+/// after every chunk has completed. Because the combination order is fixed,
+/// any accumulation combine performs (floating-point sums included) is
+/// bit-identical at every thread count. produce must not observe state
+/// combine mutates; at threads <= 1 the two are interleaved
+/// (produce c, combine c, produce c+1, ...) on the exact serial path.
+template <typename Partial, typename Produce, typename Combine>
+void ordered_reduce(std::size_t n, std::size_t grain, int threads,
+                    Produce&& produce, Combine&& combine) {
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+  const int workers = resolve_threads(threads);
+  if (workers <= 1 || chunks == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      combine(c, produce(c * grain, std::min(n, (c + 1) * grain), 0));
+    }
+    return;
+  }
+  std::vector<std::optional<Partial>> partials(chunks);
+  parallel_for(n, grain, threads, [&](std::size_t b, std::size_t e, int w) {
+    partials[b / grain].emplace(produce(b, e, w));
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    combine(c, std::move(*partials[c]));
+  }
+}
+
+}  // namespace rlcr::parallel

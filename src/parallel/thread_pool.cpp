@@ -1,0 +1,123 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rlcr::parallel {
+
+namespace {
+
+thread_local bool tl_on_pool_worker = false;
+thread_local bool tl_inside_run = false;
+
+int env_threads() {
+  // Read once: the override is a process-level pin (CI's TSan job), not a
+  // per-call knob, and getenv is not guaranteed thread-safe against setenv.
+  static const int cached = [] {
+    const char* s = std::getenv("RLCR_THREADS");
+    if (!s) return 0;
+    const long v = std::strtol(s, nullptr, 10);
+    if (v <= 0) return 0;  // unset/garbage: fall back to hardware
+    // Clamp oversized pins the same way explicit requests clamp, instead of
+    // silently ignoring them.
+    return static_cast<int>(std::min<long>(v, ThreadPool::kMaxHelpers));
+  }();
+  return cached;
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return std::min(requested, ThreadPool::kMaxHelpers + 1);
+  const int env = env_threads();
+  return env > 0 ? env : hardware_threads();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() { return tl_on_pool_worker; }
+
+int ThreadPool::spawned() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_main() {
+  tl_on_pool_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || (job_ != seen && slots_ > 0); });
+    if (stop_) return;
+    seen = job_;
+    const int worker = slots_--;  // ids helpers..1; 0 is the caller
+    ++running_;
+    const std::function<void(int)>* task = task_;
+    lock.unlock();
+    (*task)(worker);
+    lock.lock();
+    --running_;
+    if (running_ == 0 && slots_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(int helpers, const std::function<void(int)>& task) {
+  // Nested calls — from a pool worker, or from a caller thread that is
+  // already participating in a run() (its task(0) share re-entered the
+  // runtime) — execute inline: serial degradation instead of deadlocking
+  // on run_mu_ or corrupting the in-flight job's accounting.
+  if (helpers <= 0 || tl_on_pool_worker || tl_inside_run) {
+    task(0);
+    return;
+  }
+  struct RunFlag {
+    RunFlag() { tl_inside_run = true; }
+    ~RunFlag() { tl_inside_run = false; }
+  } run_flag;
+  std::lock_guard run_lock(run_mu_);
+  helpers = std::min(helpers, kMaxHelpers);
+  {
+    std::lock_guard lock(mu_);
+    while (static_cast<int>(threads_.size()) < helpers) {
+      threads_.emplace_back([this] { worker_main(); });
+    }
+    task_ = &task;
+    slots_ = helpers;
+    ++job_;
+  }
+  work_cv_.notify_all();
+  // The caller participates as worker 0. If its share throws (only possible
+  // when run() is called directly with a throwing task), drain the helpers
+  // before rethrowing so `task` stays alive while they use it.
+  std::exception_ptr caller_error;
+  try {
+    task(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return slots_ == 0 && running_ == 0; });
+    task_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+}  // namespace rlcr::parallel

@@ -1,0 +1,85 @@
+// Deterministic parallel runtime: a lazily-started, lazily-grown thread
+// pool shared by every phase of the flow (Phase I net build, Phase II
+// per-region SINO, LSK table construction).
+//
+// The pool itself knows nothing about determinism — that contract lives in
+// the chunked algorithms of parallel_for.h, which partition work into chunks
+// whose boundaries depend only on the problem size and a fixed grain, and
+// combine per-chunk results in chunk-index order. The pool's only jobs are
+// (a) to keep worker threads warm across calls instead of spawning per call
+// site, and (b) to hand each participant a stable worker id in
+// [0, participants) so callers can maintain per-worker scratch.
+//
+// Worker assignment of chunks IS scheduling-dependent (workers pull chunk
+// indices from a shared counter), so callers must never let outputs depend
+// on the worker id — only scratch reuse may.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlcr::parallel {
+
+/// Hardware concurrency, clamped to at least 1.
+int hardware_threads();
+
+/// Worker count for a `threads` option value: a positive request is taken
+/// verbatim; zero (the "auto" default everywhere in the library) resolves to
+/// the RLCR_THREADS environment variable when set to a positive integer
+/// (this is how CI pins the ThreadSanitizer job at 8), otherwise to
+/// hardware_threads(). Never returns less than 1.
+int resolve_threads(int requested);
+
+/// Fixed-size pool of helper threads, started on first use and grown on
+/// demand up to the largest participant count ever requested (capped). One
+/// process-wide instance (global()) serves every call site; standalone
+/// instances exist for lifecycle tests.
+class ThreadPool {
+ public:
+  /// Hard cap on helper threads a pool will ever spawn.
+  static constexpr int kMaxHelpers = 256;
+
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, started on first call.
+  static ThreadPool& global();
+
+  /// True when the calling thread is a pool worker. The chunked algorithms
+  /// use this to run nested parallelism serially instead of deadlocking on
+  /// the pool they are already occupying.
+  static bool on_worker_thread();
+
+  /// Helper threads currently spawned.
+  int spawned() const;
+
+  /// Run task(worker) on `helpers` pool threads (worker ids 1..helpers) and
+  /// on the calling thread (worker id 0); returns once every participant
+  /// has finished. Missing helpers are spawned first. `task` must not throw
+  /// (the parallel_for.h wrappers capture exceptions per chunk); a throw
+  /// from the caller-side invocation is rethrown after the helpers drain.
+  /// Serializes concurrent top-level calls; calls from a pool worker run
+  /// task(0) inline.
+  void run(int helpers, const std::function<void(int)>& task);
+
+ private:
+  void worker_main();
+
+  mutable std::mutex mu_;
+  std::mutex run_mu_;  // serializes top-level run() calls
+  std::condition_variable work_cv_, done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t job_ = 0;   // bumped per run(); workers latch the last seen
+  int slots_ = 0;           // helper slots not yet claimed for current job
+  int running_ = 0;         // helpers currently inside the task
+  bool stop_ = false;
+};
+
+}  // namespace rlcr::parallel

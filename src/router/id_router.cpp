@@ -5,9 +5,8 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <unordered_set>
 
-
+#include "parallel/parallel_for.h"
 #include "rsmt/steiner.h"
 #include "util/indexed_heap.h"
 #include "util/stopwatch.h"
@@ -73,6 +72,11 @@ struct NetWork {
   double si = 0.0;
   double rsmt_len = 1.0;  ///< RSMT length estimate (>= 1 region unit)
   bool prerouted = false;
+  bool trivial = false;  ///< < 2 pins or single-region bbox: nothing to route
+  /// Pre-routed nets: deduplicated (region * 2 + dir) presence keys in
+  /// first-touch order, recorded by the parallel build and replayed into the
+  /// shared RegionStats by the ordered combiner.
+  std::vector<std::uint64_t> present_keys;
   int bfs_since_certify = 0;
   int locks_since_tarjan = 1;  ///< run the first bridge pass unconditionally
   /// Positive certificate: local edge ids forming one certified
@@ -192,8 +196,18 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
 
   const std::size_t region_count = grid_->region_count();
   RegionStats stats(region_count);
+  const int threads = parallel::resolve_threads(options_.threads);
 
   // ---------------------------------------------------------------- build
+  //
+  // The per-net work — graph construction, CSR adjacency, f(WL) tables,
+  // EdgeHot records — is independent across nets and runs as chunked jobs
+  // on the shared pool (src/parallel). Everything order-sensitive stays off
+  // the workers: pass A classifies and sizes nets serially, the arenas are
+  // carved serially, and the shared RegionStats accumulation is replayed by
+  // the ordered_reduce combiner in net order — so the per-region
+  // floating-point sums (and hence every weight, deletion, and route) are
+  // bit-identical at any thread count, including the serial path at 1.
   //
   // Pass A: bounding boxes and pre-route decisions, so the per-net array
   // sizes are known and the arenas can be carved in one allocation each.
@@ -205,86 +219,148 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
     wk.si = net.si;
     result.routes[n].net_id = net.id;
     for (const geom::Point& p : net.pins) wk.bbox.expand(p);
-    if (net.pins.size() < 2 || wk.bbox.cell_count() <= 1 ||
-        static_cast<std::size_t>(wk.bbox.cell_count()) >
-            options_.huge_net_bbox_threshold) {
-      wk.prerouted = true;  // trivial, or pre-routed on its RSMT below
+    if (net.pins.size() < 2 || wk.bbox.cell_count() <= 1) {
+      wk.prerouted = true;
+      wk.trivial = true;  // nothing to route
+      continue;
+    }
+    if (static_cast<std::size_t>(wk.bbox.cell_count()) >
+        options_.huge_net_bbox_threshold) {
+      wk.prerouted = true;  // pre-routed on its RSMT below
       continue;
     }
     wk.w = static_cast<std::int32_t>(wk.bbox.width());
     wk.h = static_cast<std::int32_t>(wk.bbox.height());
     sum_v += wk.vertex_count();
-    sum_e += static_cast<std::size_t>(
+    wk.edge_count = static_cast<std::size_t>(
         2 * wk.w * wk.h - wk.w - wk.h);  // grid graph over the bbox
+    sum_e += wk.edge_count;
   }
+
+  // Global candidate-edge ids: net-major, so ascending id matches the
+  // historical (net, edge) tie-break of the lazy heap.
+  std::vector<std::size_t> edge_base(works.size() + 1, 0);
+  for (std::size_t n = 0; n < works.size(); ++n) {
+    edge_base[n + 1] = edge_base[n] + works[n].edge_count;
+  }
+  const std::size_t total_edges = edge_base.back();
+
   // Arenas: int32 slots per net = (V+1) adj_offset + 2E adj_edges +
   // V pin_index + V region_idx + 2V active_pos + 2V active_vertices.
   // new T[] (not vectors): default-init leaves the trivially-typed arenas
-  // uninitialized, and every slice is written before it is read.
-  std::vector<std::int32_t> csr_cursor;  // shared CSR build scratch
+  // uninitialized, and every slice is written before it is read. Carving is
+  // serial (cursor order = net order); filling is the workers' job, and the
+  // slices are disjoint so they share nothing but cache lines.
   const std::unique_ptr<LocalEdge[]> edge_arena(new LocalEdge[sum_e]);
   const std::unique_ptr<std::array<std::uint16_t, 2>[]> incident_arena(
       new std::array<std::uint16_t, 2>[sum_v]);
   const std::unique_ptr<std::int32_t[]> i32_arena(
       new std::int32_t[7 * sum_v + works.size() + 2 * sum_e]);
-  std::size_t edge_cursor = 0, incident_cursor = 0, i32_cursor = 0;
-
-  for (std::size_t n = 0; n < nets.size(); ++n) {
-    const RouterNet& net = nets[n];
-    NetWork& wk = works[n];
-    if (wk.prerouted &&
-        (net.pins.size() < 2 || wk.bbox.cell_count() <= 1)) {
-      continue;  // nothing to route
+  const std::unique_ptr<EdgeHot[]> ehot(new EdgeHot[total_edges]);
+  const std::unique_ptr<std::int32_t[]> gid_net(new std::int32_t[total_edges]);
+  {
+    std::size_t edge_cursor = 0, incident_cursor = 0, i32_cursor = 0;
+    for (std::size_t n = 0; n < works.size(); ++n) {
+      NetWork& wk = works[n];
+      wk.gid_base = edge_base[n];
+      if (wk.prerouted) continue;
+      const std::size_t vcount = wk.vertex_count();
+      wk.edges = edge_arena.get() + edge_cursor;
+      edge_cursor += wk.edge_count;
+      wk.incident = incident_arena.get() + incident_cursor;
+      incident_cursor += vcount;
+      auto carve = [&](std::size_t count) {
+        std::int32_t* p = i32_arena.get() + i32_cursor;
+        i32_cursor += count;
+        return p;
+      };
+      wk.adj_offset = carve(vcount + 1);
+      wk.adj_edges = carve(2 * wk.edge_count);
+      wk.pin_index = carve(vcount);
+      wk.region_idx = carve(vcount);
+      wk.active_pos[0] = carve(vcount);
+      wk.active_pos[1] = carve(vcount);
+      wk.active_vertices[0] = carve(vcount);
+      wk.active_vertices[1] = carve(vcount);
     }
+  }
 
-    if (wk.prerouted) {
-      // Pre-route on the RSMT topology with L-shapes; fixed demand.
-      ++result.stats.prerouted_nets;
-      const rsmt::Tree tree = rsmt::rsmt(net.pins);
-      std::unordered_set<GridEdge, GridEdgeHash> seen;
-      std::vector<GridEdge> scratch;
-      for (const auto& [a, b] : tree.edges) {
-        scratch.clear();
-        emit_l_shape(tree.nodes[static_cast<std::size_t>(a)],
-                     tree.nodes[static_cast<std::size_t>(b)], scratch);
-        for (const GridEdge& e : scratch) {
-          if (seen.insert(e).second) wk.fixed_edges.push_back(e);
+  // Per-worker build scratch: CSR cursors, f(WL) distance tables, and the
+  // pre-route path's epoch-stamped dedup arrays (the stamped-commit pattern
+  // of maze.cpp, replacing the historical per-net hash sets). Indexed by
+  // the worker id, which is scratch-only: nothing written to shared state
+  // may depend on it.
+  const std::size_t h_edge_slots =
+      static_cast<std::size_t>(grid_->rows()) *
+      static_cast<std::size_t>(std::max(0, grid_->cols() - 1));
+  const std::size_t edge_slots =
+      h_edge_slots + static_cast<std::size_t>(grid_->cols()) *
+                         static_cast<std::size_t>(std::max(0, grid_->rows() - 1));
+  auto edge_slot = [&](const GridEdge& e) {
+    return e.dir() == grid::Dir::kHorizontal
+               ? static_cast<std::size_t>(e.a.y) *
+                         static_cast<std::size_t>(grid_->cols() - 1) +
+                     static_cast<std::size_t>(e.a.x)
+               : h_edge_slots +
+                     static_cast<std::size_t>(e.a.y) *
+                         static_cast<std::size_t>(grid_->cols()) +
+                     static_cast<std::size_t>(e.a.x);
+  };
+  struct BuildScratch {
+    std::vector<std::int32_t> csr_cursor;
+    std::vector<std::int64_t> dist_src, dist_sink;
+    std::vector<GridEdge> l_shape;
+    std::vector<std::uint32_t> edge_stamp;     // global-grid edge slots
+    std::vector<std::uint32_t> present_stamp;  // region * 2 + dir
+    std::uint32_t edge_epoch = 0, present_epoch = 0;
+  };
+  std::vector<BuildScratch> build_scratch(static_cast<std::size_t>(threads));
+
+  // Pre-route on the RSMT topology with L-shapes; fixed demand. Dedup of
+  // both the emitted edges and the (region, dir) presence set uses the
+  // worker's epoch-stamped arrays — first-touch order, exactly the
+  // insertion order the historical unordered_sets saw.
+  auto build_prerouted = [&](const RouterNet& net, NetWork& wk,
+                             BuildScratch& sc) {
+    if (sc.edge_stamp.empty()) {
+      sc.edge_stamp.assign(edge_slots, 0);
+      sc.present_stamp.assign(region_count * 2, 0);
+    }
+    const rsmt::Tree tree = rsmt::rsmt(net.pins);
+    ++sc.edge_epoch;
+    for (const auto& [a, b] : tree.edges) {
+      sc.l_shape.clear();
+      emit_l_shape(tree.nodes[static_cast<std::size_t>(a)],
+                   tree.nodes[static_cast<std::size_t>(b)], sc.l_shape);
+      for (const GridEdge& e : sc.l_shape) {
+        const std::size_t slot = edge_slot(e);
+        if (sc.edge_stamp[slot] != sc.edge_epoch) {
+          sc.edge_stamp[slot] = sc.edge_epoch;
+          wk.fixed_edges.push_back(e);
         }
       }
-      // Fixed (binary) presence: each endpoint region of each edge.
-      std::unordered_set<std::uint64_t> present;  // region * 2 + dir
-      for (const GridEdge& e : wk.fixed_edges) {
-        const int d = static_cast<int>(e.dir());
-        for (const geom::Point p : {e.a, e.b}) {
-          const std::uint64_t key = grid_->index(p) * 2 + static_cast<unsigned>(d);
-          if (present.insert(key).second) {
-            stats.add(grid_->index(p), d, 1.0, wk.si);
-          }
+    }
+    // Fixed (binary) presence: each endpoint region of each edge, recorded
+    // for the ordered stats replay.
+    ++sc.present_epoch;
+    for (const GridEdge& e : wk.fixed_edges) {
+      const int d = static_cast<int>(e.dir());
+      for (const geom::Point p : {e.a, e.b}) {
+        const std::uint64_t key =
+            grid_->index(p) * 2 + static_cast<unsigned>(d);
+        if (sc.present_stamp[key] != sc.present_epoch) {
+          sc.present_stamp[key] = sc.present_epoch;
+          wk.present_keys.push_back(key);
         }
       }
-      continue;
     }
+  };
 
-    // Full connection graph over the bounding box, carved from the arenas.
+  // Full connection graph over the bounding box, filled into the net's
+  // pre-carved arena slices, plus the f(WL) tables and EdgeHot records.
+  auto build_pooled = [&](const RouterNet& net, NetWork& wk, std::size_t n,
+                          BuildScratch& sc) {
     const auto vcount = wk.vertex_count();
-    wk.edge_count = static_cast<std::size_t>(2 * wk.w * wk.h - wk.w - wk.h);
-    wk.edges = edge_arena.get() + edge_cursor;
-    edge_cursor += wk.edge_count;
-    wk.incident = incident_arena.get() + incident_cursor;
-    incident_cursor += vcount;
-    auto carve = [&](std::size_t count) {
-      std::int32_t* p = i32_arena.get() + i32_cursor;
-      i32_cursor += count;
-      return p;
-    };
-    wk.adj_offset = carve(vcount + 1);
-    wk.adj_edges = carve(2 * wk.edge_count);
-    wk.pin_index = carve(vcount);
-    wk.region_idx = carve(vcount);
-    wk.active_pos[0] = carve(vcount);
-    wk.active_pos[1] = carve(vcount);
-    wk.active_vertices[0] = carve(vcount);
-    wk.active_vertices[1] = carve(vcount);
     std::fill_n(wk.incident, vcount, std::array<std::uint16_t, 2>{0, 0});
     {
       // Row-major incremental fill: region ids advance by 1 per column and
@@ -321,14 +397,14 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
       wk.adj_offset[i] += wk.adj_offset[i - 1];
     }
     {
-      csr_cursor.assign(wk.adj_offset, wk.adj_offset + vcount);
+      sc.csr_cursor.assign(wk.adj_offset, wk.adj_offset + vcount);
       for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
         const LocalEdge& e = wk.edges[ei];
         wk.adj_edges[static_cast<std::size_t>(
-            csr_cursor[static_cast<std::size_t>(e.u)]++)] =
+            sc.csr_cursor[static_cast<std::size_t>(e.u)]++)] =
             static_cast<std::int32_t>(ei);
         wk.adj_edges[static_cast<std::size_t>(
-            csr_cursor[static_cast<std::size_t>(e.v)]++)] =
+            sc.csr_cursor[static_cast<std::size_t>(e.v)]++)] =
             static_cast<std::int32_t>(ei);
       }
     }
@@ -390,16 +466,104 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
           ++wk.active_regions[d];
         }
       }
+      // The stats.add replay for this weight happens in the ordered
+      // combiner, never here on the worker.
       wk.weight_applied[d] = wk.target_weight(d);
-      for (std::int32_t i = 0; i < wk.active_count[d]; ++i) {
-        const std::int32_t v = wk.active_vertices[d][static_cast<std::size_t>(i)];
-        stats.add(static_cast<std::size_t>(
-                      wk.region_idx[static_cast<std::size_t>(v)]),
-                  d, wk.weight_applied[d], wk.si);
-      }
     }
-    result.stats.edges_initial += wk.edge_count;
-  }
+
+    // Static f(WL) per edge: shortest source->sink path forced through it,
+    // normalized by the RSMT length estimate (>= 1 region unit). Source and
+    // nearest-sink distances are precomputed per vertex, so the edge loop
+    // is table lookups instead of O(pins) Manhattan scans. The heap key is
+    // NOT computed here — it needs the density caches, which exist only
+    // after every net's stats are combined.
+    const geom::Point src = net.pins.front();
+    sc.dist_src.resize(vcount);
+    sc.dist_sink.resize(vcount);
+    for (std::size_t v = 0; v < vcount; ++v) {
+      const geom::Point p = wk.global(static_cast<std::int32_t>(v));
+      sc.dist_src[v] = geom::manhattan(src, p);
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t i = 1; i < net.pins.size(); ++i) {
+        best = std::min(best, geom::manhattan(p, net.pins[i]));
+      }
+      sc.dist_sink[v] = best;
+    }
+    for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
+      const LocalEdge& e = wk.edges[ei];
+      const std::size_t gid = wk.gid_base + ei;
+      EdgeHot& h = ehot[gid];
+      const geom::Point pu = wk.global(e.u);
+      const geom::Point pv = wk.global(e.v);
+      const std::int64_t through_uv =
+          sc.dist_src[static_cast<std::size_t>(e.u)] + 1 +
+          sc.dist_sink[static_cast<std::size_t>(e.v)];
+      const std::int64_t through_vu =
+          sc.dist_src[static_cast<std::size_t>(e.v)] + 1 +
+          sc.dist_sink[static_cast<std::size_t>(e.u)];
+      h.fwl = static_cast<float>(
+          static_cast<double>(std::min(through_uv, through_vu)) / wk.rsmt_len);
+      h.dir = static_cast<std::uint8_t>(pu.y == pv.y ? grid::Dir::kHorizontal
+                                                     : grid::Dir::kVertical);
+      h.ru = wk.region_idx[static_cast<std::size_t>(e.u)];
+      h.rv = wk.region_idx[static_cast<std::size_t>(e.v)];
+      h.meta = kActive;
+      gid_net[gid] = static_cast<std::int32_t>(n);
+    }
+  };
+
+  // Pass B: chunked parallel build; the combiner replays each chunk's
+  // shared-stats contributions in net order (ordered deterministic reduce).
+  struct BuildPartial {
+    std::size_t edges_initial = 0;
+    std::size_t prerouted_nets = 0;
+  };
+  constexpr std::size_t kBuildGrain = 16;  // nets per chunk — a function of
+                                           // nothing but this constant, so
+                                           // chunking is thread-count-free
+  parallel::ordered_reduce<BuildPartial>(
+      nets.size(), kBuildGrain, threads,
+      [&](std::size_t begin, std::size_t end, int worker) {
+        BuildScratch& sc = build_scratch[static_cast<std::size_t>(worker)];
+        BuildPartial part;
+        for (std::size_t n = begin; n < end; ++n) {
+          NetWork& wk = works[n];
+          if (wk.trivial) continue;
+          if (wk.prerouted) {
+            ++part.prerouted_nets;
+            build_prerouted(nets[n], wk, sc);
+          } else {
+            part.edges_initial += wk.edge_count;
+            build_pooled(nets[n], wk, n, sc);
+          }
+        }
+        return part;
+      },
+      [&](std::size_t chunk, BuildPartial&& part) {
+        result.stats.prerouted_nets += part.prerouted_nets;
+        result.stats.edges_initial += part.edges_initial;
+        const std::size_t begin = chunk * kBuildGrain;
+        const std::size_t end = std::min(nets.size(), begin + kBuildGrain);
+        for (std::size_t n = begin; n < end; ++n) {
+          const NetWork& wk = works[n];
+          if (wk.trivial) continue;
+          if (wk.prerouted) {
+            for (const std::uint64_t key : wk.present_keys) {
+              stats.add(key >> 1, static_cast<int>(key & 1), 1.0, wk.si);
+            }
+            continue;
+          }
+          for (int d = 0; d < 2; ++d) {
+            for (std::int32_t i = 0; i < wk.active_count[d]; ++i) {
+              const std::int32_t v =
+                  wk.active_vertices[d][static_cast<std::size_t>(i)];
+              stats.add(static_cast<std::size_t>(
+                            wk.region_idx[static_cast<std::size_t>(v)]),
+                        d, wk.weight_applied[d], wk.si);
+            }
+          }
+        }
+      });
 
   // ------------------------------------------------- incremental weights
   //
@@ -418,9 +582,10 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   };
   std::vector<DensCache> dcache[2];
   for (int d = 0; d < 2; ++d) dcache[d].assign(region_count, DensCache{});
-  // Everything starts stale: caches materialize on first read, so regions
-  // no net touches never pay a refresh.
-  std::vector<std::uint8_t> region_stale(region_count * 2, 1);
+  // Every (region, dir) is warmed eagerly right after the build (so the
+  // parallel heap-key pass reads the caches without synchronization); the
+  // stale flags only track changes the deletion loop makes from then on.
+  std::vector<std::uint8_t> region_stale(region_count * 2, 0);
   auto refresh_region = [&](std::size_t region, int d) {
     const RegionStat& rs = stats.s[d][region];
     double hu = rs.nns;
@@ -441,84 +606,51 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
     }
   };
 
-  // Global candidate-edge ids: net-major, so ascending id matches the
-  // historical (net, edge) tie-break of the lazy heap. EdgeHot packs the
-  // per-edge hot state; per-net flags mirror into flat arrays so the pop
-  // loop's fast paths never touch the big NetWork records.
-  std::vector<std::size_t> edge_base(works.size() + 1, 0);
-  for (std::size_t n = 0; n < works.size(); ++n) {
-    edge_base[n + 1] = edge_base[n] + works[n].edge_count;
-  }
-  const std::size_t total_edges = edge_base.back();
-  const std::unique_ptr<EdgeHot[]> ehot(new EdgeHot[total_edges]);
-  const std::unique_ptr<std::int32_t[]> gid_net(new std::int32_t[total_edges]);
+  // Per-net flags mirror into flat arrays so the pop loop's fast paths
+  // never touch the big NetWork records (EdgeHot itself was filled by the
+  // parallel build above).
   std::vector<std::uint8_t> net_frozen(works.size(), 0);
   std::vector<std::uint8_t> net_cert_valid(works.size(), 0);
 
-  auto current_weight = [&](const EdgeHot& h) {
+  // The Eq. (2) combine off already-fresh caches: pure and read-only, so
+  // the parallel initial-key pass can share it race-free; current_weight
+  // adds the lazy refresh the serial deletion loop needs.
+  auto weight_from_cache = [&](const EdgeHot& h) {
     const int d = h.dir;
-    const auto ru = static_cast<std::size_t>(h.ru);
-    const auto rv = static_cast<std::size_t>(h.rv);
-    fresh_region(ru, d);
-    fresh_region(rv, d);
-    const DensCache& cu = dcache[d][ru];
-    const DensCache& cv = dcache[d][rv];
+    const DensCache& cu = dcache[d][static_cast<std::size_t>(h.ru)];
+    const DensCache& cv = dcache[d][static_cast<std::size_t>(h.rv)];
     const double hd = 0.5 * (cu.dens + cv.dens);
     const double ofr = 0.5 * (cu.over + cv.over);
     return wt.alpha * static_cast<double>(h.fwl) + wt.beta * hd + wt.gamma * ofr;
   };
+  auto current_weight = [&](const EdgeHot& h) {
+    const int d = h.dir;
+    fresh_region(static_cast<std::size_t>(h.ru), d);
+    fresh_region(static_cast<std::size_t>(h.rv), d);
+    return weight_from_cache(h);
+  };
+
+  // Warm every (region, dir) cache once off the final build stats, then
+  // compute the initial heap keys in parallel from the (now read-only)
+  // caches. refresh_region is a pure function of the region's stats, so
+  // eager warming yields exactly the values the historical lazy first-reads
+  // produced; the keys match current_weight() double for double.
+  for (int d = 0; d < 2; ++d) {
+    for (std::size_t r = 0; r < region_count; ++r) refresh_region(r, d);
+  }
 
   util::IndexedMaxHeap heap(total_edges);
   {
-    std::vector<util::IndexedMaxHeap::Entry> heap_init;
-    heap_init.reserve(total_edges);
-    std::vector<std::int64_t> dist_src, dist_sink;  // per-vertex scratch
-    for (std::size_t n = 0; n < works.size(); ++n) {
-      NetWork& wk = works[n];
-      wk.gid_base = edge_base[n];
-      if (wk.prerouted) continue;
-      const RouterNet& net = nets[n];
-      // Static f(WL) per edge: shortest source->sink path forced through
-      // it, normalized by the RSMT length estimate (>= 1 region unit).
-      // Source and nearest-sink distances are precomputed per vertex, so
-      // the edge loop is table lookups instead of O(pins) Manhattan scans.
-      const geom::Point src = net.pins.front();
-      const std::size_t vcount = wk.vertex_count();
-      dist_src.resize(vcount);
-      dist_sink.resize(vcount);
-      for (std::size_t v = 0; v < vcount; ++v) {
-        const geom::Point p = wk.global(static_cast<std::int32_t>(v));
-        dist_src[v] = geom::manhattan(src, p);
-        std::int64_t best = std::numeric_limits<std::int64_t>::max();
-        for (std::size_t i = 1; i < net.pins.size(); ++i) {
-          best = std::min(best, geom::manhattan(p, net.pins[i]));
-        }
-        dist_sink[v] = best;
-      }
-      for (std::size_t ei = 0; ei < wk.edge_count; ++ei) {
-        const LocalEdge& e = wk.edges[ei];
-        const std::size_t gid = edge_base[n] + ei;
-        EdgeHot& h = ehot[gid];
-        const geom::Point pu = wk.global(e.u);
-        const geom::Point pv = wk.global(e.v);
-        const std::int64_t through_uv =
-            dist_src[static_cast<std::size_t>(e.u)] + 1 +
-            dist_sink[static_cast<std::size_t>(e.v)];
-        const std::int64_t through_vu =
-            dist_src[static_cast<std::size_t>(e.v)] + 1 +
-            dist_sink[static_cast<std::size_t>(e.u)];
-        h.fwl = static_cast<float>(
-            static_cast<double>(std::min(through_uv, through_vu)) / wk.rsmt_len);
-        h.dir = static_cast<std::uint8_t>(pu.y == pv.y ? grid::Dir::kHorizontal
-                                                       : grid::Dir::kVertical);
-        h.ru = wk.region_idx[static_cast<std::size_t>(e.u)];
-        h.rv = wk.region_idx[static_cast<std::size_t>(e.v)];
-        h.meta = kActive;
-        gid_net[gid] = static_cast<std::int32_t>(n);
-        heap_init.push_back(util::IndexedMaxHeap::Entry{
-            current_weight(h), static_cast<std::int32_t>(gid)});
-      }
-    }
+    std::vector<util::IndexedMaxHeap::Entry> heap_init(total_edges);
+    constexpr std::size_t kWeightGrain = 4096;  // edges per chunk (fixed)
+    parallel::parallel_for(
+        total_edges, kWeightGrain, threads,
+        [&](std::size_t begin, std::size_t end, int) {
+          for (std::size_t gid = begin; gid < end; ++gid) {
+            heap_init[gid] = util::IndexedMaxHeap::Entry{
+                weight_from_cache(ehot[gid]), static_cast<std::int32_t>(gid)};
+          }
+        });
     heap.build(heap_init);
   }
 

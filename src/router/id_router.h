@@ -47,7 +47,13 @@
 //     until a pop touches them;
 //   - demand rebalancing walks maintained per-direction active-vertex
 //     lists instead of rescanning the whole bounding box, and per-net
-//     arrays are carved from shared arenas (three allocations total).
+//     arrays are carved from shared arenas (three allocations total);
+//   - the build phase (per-net graph + CSR + f(WL) + initial heap keys) is
+//     chunk-parallel on the shared pool (src/parallel): workers fill
+//     disjoint arena slices, the shared RegionStats accumulation is
+//     replayed serially in net order by the ordered reducer, and the
+//     pre-route dedup uses per-worker epoch-stamped scratch. Results are
+//     bit-identical at any `threads` value (see IdRouterOptions::threads).
 //
 // Nets whose bounding box exceeds a size threshold would contribute
 // enormous connection graphs (the classic ID scalability problem the paper
@@ -86,6 +92,15 @@ struct IdRouterOptions {
   /// can leave arbitrarily long snakes through quiet regions.
   double max_detour_factor = 1.3;
   std::int32_t detour_slack = 1;
+  /// Workers for the build phase (per-net graphs, f(WL) tables, CSR, heap
+  /// keys) on the shared pool (src/parallel). 0 = auto (RLCR_THREADS env
+  /// var, else hardware concurrency); 1 = the exact serial path. Output is
+  /// bit-identical at every value: chunking is a pure function of the net
+  /// count, and shared-stats accumulation is replayed in net order by the
+  /// ordered reducer. The deletion loop itself stays serial (it is
+  /// inherently sequential — each pop re-weighs against the stats every
+  /// earlier pop updated).
+  int threads = 0;
 };
 
 class IdRouter {

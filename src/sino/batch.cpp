@@ -1,0 +1,51 @@
+#include "sino/batch.h"
+
+#include "parallel/parallel_for.h"
+#include "sino/anneal.h"
+#include "sino/evaluator.h"
+#include "sino/greedy.h"
+#include "sino/net_order.h"
+
+namespace rlcr::sino {
+
+namespace {
+
+SinoBatchResult solve_one(const SinoBatchItem& item,
+                          const ktable::KeffModel& keff) {
+  SinoBatchResult out;
+  if (item.instance == nullptr || item.instance->net_count() == 0) return out;
+  const SinoInstance& inst = *item.instance;
+
+  if (item.mode == SinoSolveMode::kNetOrder) {
+    out.slots = solve_net_order(inst, keff).slots;
+  } else {
+    out.slots = solve_greedy(inst, keff);
+    if (item.mode == SinoSolveMode::kGreedyAnneal) {
+      const SinoEvaluator eval(inst, keff);
+      if (!eval.check(out.slots).feasible()) {
+        AnnealOptions ao;
+        ao.seed = item.anneal_seed;
+        ao.iterations = item.anneal_iterations;
+        const AnnealResult best = solve_anneal(inst, keff, ao);
+        out.annealed = true;
+        if (best.feasible) out.slots = best.slots;
+      }
+    }
+  }
+  const SinoEvaluator eval(inst, keff);
+  out.ki = eval.all_ki(out.slots);
+  out.feasible = eval.check(out.slots).feasible();
+  return out;
+}
+
+}  // namespace
+
+std::vector<SinoBatchResult> solve_batch(const std::vector<SinoBatchItem>& items,
+                                         const ktable::KeffModel& keff,
+                                         const SinoBatchOptions& options) {
+  return parallel::parallel_map<SinoBatchResult>(
+      items.size(), options.grain, options.threads,
+      [&](std::size_t i) { return solve_one(items[i], keff); });
+}
+
+}  // namespace rlcr::sino

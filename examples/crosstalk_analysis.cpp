@@ -72,7 +72,7 @@ int main() {
   params.sensitivity_rate = 0.5;
   const gsino::RoutingProblem problem = gsino::make_problem(design, spec, params);
   const gsino::FlowResult fr = gsino::FlowRunner(problem).run(gsino::FlowKind::kGsino);
-  std::vector<double> noise = fr.net_noise;
+  std::vector<double> noise = fr.net_noise();
   std::printf("  max %.4f V, mean %.4f V, p95 %.4f V (bound %.2f V)\n",
               util::max_of(noise), util::mean(noise),
               util::percentile(noise, 95), fr.bound_v);

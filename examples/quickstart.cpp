@@ -5,11 +5,11 @@
 //
 // Walks the public API end to end: synthesize a placed netlist, assemble a
 // RoutingProblem (grid + sensitivity + LSK models), run the three-phase
-// GSINO flow, and inspect the result.
+// GSINO flow through a FlowSession, and inspect the result.
 #include <cstdio>
 
 #include "core/experiment.h"
-#include "core/flow.h"
+#include "core/session.h"
 
 using namespace rlcr;
 using namespace rlcr::gsino;
@@ -30,9 +30,11 @@ int main() {
   std::printf("LSK budget at %.2f V bound: %.3f\n", params.crosstalk_bound_v,
               problem.lsk_table().lsk_budget(params.crosstalk_bound_v));
 
-  // 3. Run GSINO (Phase I budget+route, Phase II SINO, Phase III refine).
-  const FlowRunner flows(problem);
-  const FlowResult result = flows.run(FlowKind::kGsino);
+  // 3. Run GSINO (Phase I budget+route, Phase II SINO, Phase III refine)
+  //    through a flow session — the staged pipeline with reusable
+  //    artifacts.
+  FlowSession session(problem);
+  const FlowResult result = session.run(FlowKind::kGsino);
 
   // 4. Inspect.
   std::printf(
@@ -48,12 +50,26 @@ int main() {
       result.timing.refine_s);
 
   // 5. Compare with the conventional baseline (what Table 1 is about).
-  const FlowResult baseline = flows.run(FlowKind::kIdNo);
+  const FlowResult baseline = session.run(FlowKind::kIdNo);
   std::printf(
       "\nconventional ID+NO baseline: %zu violating nets (%.1f%%) — GSINO "
       "eliminated all of them.\n",
       baseline.violating,
       100.0 * static_cast<double>(baseline.violating) /
           static_cast<double>(problem.net_count()));
+
+  // 6. What-if re-solve: loosen the bound to 0.20 V. The session reuses
+  //    the cached Phase I routing artifact — only budgeting, Phase II,
+  //    and Phase III run again.
+  Scenario looser;
+  looser.bound_v = 0.20;
+  const FlowResult relaxed = session.run(FlowKind::kGsino, looser);
+  const StageCounters& c = session.counters();
+  std::printf(
+      "\nwhat-if at 0.20 V: %.0f shields (vs %.0f at 0.15 V); Phase I ran "
+      "%zu time(s) for %zu stage requests — the routing artifact was "
+      "reused.\n",
+      relaxed.total_shields, result.total_shields, c.route_executed,
+      c.route_requests);
   return 0;
 }

@@ -8,14 +8,19 @@
 //   $ ./route_cli --net ibm01.net --are ibm01.are \
 //                 --outline 1533x1824 --grid 96x96 --cap 22x20 --flow all
 //
+//   # what-if crosstalk-bound sweep: Phase I runs once, every subsequent
+//   # bound re-solves Phase II/III off the cached routing artifact
+//   $ ./route_cli --circuit ibm01 --flow gsino --sweep-bound 0.12,0.15,0.20
+//
 // Prints the flow summary (violations, wire length, shields, routing area)
 // and optionally dumps per-net noise to CSV (--noise-csv out.csv).
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
-#include "core/flow.h"
+#include "core/session.h"
 #include "netlist/ispd98.h"
 #include "netlist/placement.h"
 #include "util/csv.h"
@@ -31,6 +36,7 @@ struct CliOptions {
   std::string are_path;
   std::string noise_csv;
   std::string flow = "gsino";  // idno | isino | gsino | all
+  std::vector<double> sweep_bounds;  // --sweep-bound list
   double scale = 0.25;
   double rate = 0.30;
   double bound_v = 0.15;
@@ -53,6 +59,8 @@ struct CliOptions {
       "  --rate R                 sensitivity rate (default 0.30)\n"
       "  --bound V                crosstalk bound in volts (default 0.15)\n"
       "  --flow idno|isino|gsino|all (default gsino)\n"
+      "  --sweep-bound B1,B2,...  what-if sweep: re-solve the flow at each\n"
+      "                           bound off one cached Phase I routing\n"
       "  --seed N                 master seed (default 1)\n"
       "  --threads N              pool workers for routing + Phase II\n"
       "                           (default auto; output identical at any N)\n"
@@ -71,9 +79,10 @@ bool parse_pair(const char* s, double& a, double& b) {
 
 void report(const FlowResult& fr, const RoutingProblem& problem) {
   std::printf(
-      "%-6s | violations %5zu / %zu | avg WL %7.1f um | shields %7.0f | "
-      "area %.0f x %.0f um | route %.1fs sino %.1fs refine %.1fs\n",
-      fr.name.c_str(), fr.violating, problem.net_count(),
+      "%-6s @ %.2f V | violations %5zu / %zu | avg WL %7.1f um | "
+      "shields %7.0f | area %.0f x %.0f um | route %.1fs sino %.1fs "
+      "refine %.1fs\n",
+      fr.name.c_str(), fr.bound_v, fr.violating, problem.net_count(),
       fr.avg_wirelength_um, fr.total_shields, fr.area.width_um,
       fr.area.height_um, fr.timing.route_s, fr.timing.sino_s,
       fr.timing.refine_s);
@@ -114,6 +123,16 @@ int main(int argc, char** argv) {
       opt.bound_v = std::atof(next());
     } else if (!std::strcmp(argv[i], "--flow")) {
       opt.flow = next();
+    } else if (!std::strcmp(argv[i], "--sweep-bound")) {
+      const char* s = next();
+      while (*s != '\0') {
+        char* end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end == s || v <= 0.0) usage(argv[0]);
+        opt.sweep_bounds.push_back(v);
+        s = (*end == ',') ? end + 1 : end;
+      }
+      if (opt.sweep_bounds.empty()) usage(argv[0]);
     } else if (!std::strcmp(argv[i], "--seed")) {
       opt.seed = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--threads")) {
@@ -177,9 +196,11 @@ int main(int argc, char** argv) {
               gspec.v_capacity, opt.rate * 100.0);
 
   const RoutingProblem problem(design, gspec, params);
-  const FlowRunner flows(problem);
+  FlowSession session(problem);
 
-  // ---- run the requested flow(s).
+  // ---- run the requested flow(s): one session, so flows with matching
+  // router profiles (ID+NO and iSINO) share a Phase I artifact, and a
+  // bound sweep re-solves Phase II/III off the cached routing.
   std::vector<FlowKind> kinds;
   if (opt.flow == "idno") {
     kinds = {FlowKind::kIdNo};
@@ -193,20 +214,38 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
 
+  FlowResult last;
   for (FlowKind kind : kinds) {
-    const FlowResult fr = flows.run(kind);
-    report(fr, problem);
-    if (!opt.noise_csv.empty() && kind == kinds.back()) {
-      util::CsvWriter csv(opt.noise_csv);
-      csv.write_row(std::vector<std::string>{"net", "lsk", "noise_v",
-                                             "kth", "critical_path_um"});
-      for (std::size_t n = 0; n < problem.net_count(); ++n) {
-        csv.write_row(std::vector<double>{static_cast<double>(n),
-                                          fr.net_lsk[n], fr.net_noise[n],
-                                          fr.kth[n], fr.critical_path_um[n]});
-      }
-      std::printf("wrote per-net noise to %s\n", opt.noise_csv.c_str());
+    if (opt.sweep_bounds.empty()) {
+      last = session.run(kind);
+      report(last, problem);
+      continue;
     }
+    for (double bound : opt.sweep_bounds) {
+      Scenario scenario;
+      scenario.bound_v = bound;
+      last = session.run(kind, scenario);
+      report(last, problem);
+    }
+  }
+  const StageCounters& c = session.counters();
+  std::printf(
+      "stage counters: route %zu/%zu, budget %zu/%zu, solve %zu/%zu "
+      "(executed/requested — reuse is the gap)\n",
+      c.route_executed, c.route_requests, c.budget_executed,
+      c.budget_requests, c.solve_executed, c.solve_requests);
+
+  if (!opt.noise_csv.empty() && last.phase1 != nullptr) {
+    util::CsvWriter csv(opt.noise_csv);
+    csv.write_row(std::vector<std::string>{"net", "lsk", "noise_v",
+                                           "kth", "critical_path_um"});
+    for (std::size_t n = 0; n < problem.net_count(); ++n) {
+      csv.write_row(std::vector<double>{static_cast<double>(n),
+                                        last.net_lsk()[n], last.net_noise()[n],
+                                        last.kth()[n],
+                                        last.critical_path_um()[n]});
+    }
+    std::printf("wrote per-net noise to %s\n", opt.noise_csv.c_str());
   }
   return 0;
 }

@@ -94,5 +94,21 @@ int main(int argc, char** argv) {
       "\n[G] = shield tied to the P/G network; numbers are net indices.\n"
       "Greedy vs annealed area is the min-area SINO gap; ordering-only\n"
       "shows why conventional routing (Table 1) violates: no shields.\n");
+
+  // What-if Kth sweep: the region-level version of the session API's
+  // bound re-solves — the same instance re-solved under a sweep of
+  // coupling bounds, showing how shield demand responds to the budget a
+  // flow-level what-if (FlowSession::run with Scenario::bound_v) hands
+  // each region.
+  std::printf("\nwhat-if Kth sweep (same instance, re-solved greedily):\n");
+  for (double f : {0.5, 0.75, 1.0, 1.5, 2.0}) {
+    SinoInstance sweep = inst;
+    for (std::size_t i = 0; i < sweep.net_count(); ++i) {
+      sweep.net(i).kth = kth * f;
+    }
+    const ktable::SlotVec slots = solve_greedy(sweep, keff);
+    std::printf("  Kth %.2f: area %2d, shields %d\n", kth * f,
+                SinoEvaluator::area(slots), SinoEvaluator::shield_count(slots));
+  }
   return 0;
 }

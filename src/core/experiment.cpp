@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/session.h"
 #include "util/stopwatch.h"
 
 namespace rlcr::gsino {
@@ -18,7 +19,8 @@ double scale_from_env(double fallback) {
 
 CircuitRun ExperimentRunner::run_one(const netlist::SyntheticSpec& spec,
                                      double rate, const GsinoParams& params,
-                                     bool run_isino, bool run_gsino) {
+                                     bool run_isino, bool run_gsino,
+                                     StageObserver observer) {
   CircuitRun run;
   run.circuit = spec.name;
   run.rate = rate;
@@ -29,14 +31,15 @@ CircuitRun ExperimentRunner::run_one(const netlist::SyntheticSpec& spec,
   const RoutingProblem problem = make_problem(design, spec, p);
   run.total_nets = problem.net_count();
 
-  const FlowRunner flows(problem);
-  run.idno = summarize(flows.run(FlowKind::kIdNo), problem);
+  // One session per cell: ID+NO and iSINO share the Phase I artifact.
+  FlowSession session(problem, SessionOptions{std::move(observer)});
+  run.idno = summarize(session.run(FlowKind::kIdNo), problem);
   if (run_isino) {
-    run.isino = summarize(flows.run(FlowKind::kIsino), problem);
+    run.isino = summarize(session.run(FlowKind::kIsino), problem);
     run.has_isino = true;
   }
   if (run_gsino) {
-    run.gsino = summarize(flows.run(FlowKind::kGsino), problem);
+    run.gsino = summarize(session.run(FlowKind::kGsino), problem);
     run.has_gsino = true;
   }
   return run;
@@ -51,7 +54,9 @@ std::vector<CircuitRun> ExperimentRunner::run() const {
     for (double rate : options_.rates) {
       util::Stopwatch watch;
       CircuitRun run = run_one(spec, rate, options_.params, options_.run_isino,
-                               options_.run_gsino);
+                               options_.run_gsino, options_.observer);
+      // Deprecated adapter: the legacy callback fires once per cell, as it
+      // always did; everything finer-grained now arrives via `observer`.
       if (options_.progress) {
         options_.progress(spec.name, rate, "all-flows", watch.seconds());
       }

@@ -1,6 +1,12 @@
 // Experiment harness: runs the paper's circuit suite through the three
 // flows and produces the CircuitRun rows the table renderers consume.
 // Shared by the table benches, the ablation bench, and the examples.
+//
+// Each (circuit, rate) cell runs through one FlowSession, so ID+NO and
+// iSINO share a single Phase I routing artifact (their router profiles
+// are identical under the paper's fairness rule) and only GSINO routes a
+// second time — two Phase I executions per cell instead of three, with
+// bit-identical table outputs.
 #pragma once
 
 #include <functional>
@@ -23,7 +29,18 @@ struct ExperimentOptions {
   bool run_isino = true;
   bool run_gsino = true;
   GsinoParams params;
-  /// Progress callback (circuit, rate, flow, seconds); may be empty.
+  /// Stage observer, forwarded into every cell's FlowSession. Receives a
+  /// StageEvent per stage (route/budget/solve_regions/refine) with compute
+  /// seconds and the cache-reuse flag.
+  StageObserver observer;
+  /// DEPRECATED legacy progress callback (circuit, rate, flow, seconds).
+  /// Kept for source compatibility only: ExperimentRunner::run still fires
+  /// it once per cell with flow = "all-flows" (as it always did), but it
+  /// is a separate legacy path — run_one never sees it, and it is
+  /// independent of `observer`. New code should use `observer`, which
+  /// replaces this ad-hoc type-erased signature and additionally reports
+  /// per-stage timing and artifact reuse; `progress` will be removed once
+  /// callers migrate.
   std::function<void(const std::string&, double, const std::string&, double)>
       progress;
 };
@@ -41,11 +58,13 @@ class ExperimentRunner {
   /// One CircuitRun per (circuit, rate).
   std::vector<CircuitRun> run() const;
 
-  /// Single circuit x rate, returning the full (heavyweight) flow results;
-  /// used by tests and the quickstart example.
+  /// Single circuit x rate, returning the table-ready summaries; used by
+  /// tests and the quickstart example. The three flows run through one
+  /// FlowSession (shared routing artifact); `observer` receives its stage
+  /// events.
   static CircuitRun run_one(const netlist::SyntheticSpec& spec, double rate,
                             const GsinoParams& params, bool run_isino = true,
-                            bool run_gsino = true);
+                            bool run_gsino = true, StageObserver observer = {});
 
  private:
   ExperimentOptions options_;

@@ -1,110 +1,40 @@
-// The three routing flows the paper compares (Section 4):
-//   ID+NO  — ID global routing (wire length + congestion only), then net
-//            ordering per region; no shields. The conventional baseline
-//            whose crosstalk violations Table 1 counts.
-//   iSINO  — same routing, then min-area SINO per region to meet the
-//            crosstalk bounds; shields appear wherever needed, unplanned.
-//   GSINO  — the paper's three-phase algorithm: budgeting + shield-aware ID
-//            (Phase I), SINO per region (Phase II), local refinement
-//            (Phase III).
+// Compatibility shim over the staged flow-session API (core/session.h).
 //
-// All flows share one result shape so the experiment harness can tabulate
-// them uniformly.
+// Historically the three flows ran through a sealed batch call,
+// FlowRunner::run(FlowKind), returning a move-only FlowResult monolith.
+// The staged FlowSession replaced that: explicit route/budget/
+// solve_regions/refine stages with immutable, shareable artifacts and
+// cached cross-flow reuse. FlowRunner survives as a thin shim so existing
+// callers keep compiling; it owns a session internally, so consecutive
+// run() calls on one runner already share the routing artifact where the
+// router profiles match (ID+NO and iSINO). New code should use
+// FlowSession directly — it additionally exposes what-if re-solves,
+// stage counters, and the progress observer.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <vector>
+#include <mutex>
 
-#include "core/budget.h"
-#include "core/problem.h"
-#include "grid/congestion.h"
-#include "router/id_router.h"
-#include "router/occupancy.h"
-#include "sino/evaluator.h"
+#include "core/session.h"
 
 namespace rlcr::gsino {
 
-enum class FlowKind { kIdNo, kIsino, kGsino };
-
-const char* flow_name(FlowKind kind);
-
-/// The SINO (or ordering) state of one (region, direction).
-struct RegionSolution {
-  sino::SinoInstance instance;          ///< nets with S_i and current Kth
-  std::vector<std::size_t> net_index;   ///< instance net -> global net index
-  std::vector<double> len_mm;           ///< net's tree wire length here (tracks)
-  /// Net's critical source->sink path length inside this region (mm); zero
-  /// when the region only hosts a branch to another sink. LSK (Eq. 1) sums
-  /// path_len_mm * Ki — noise at a sink accumulates along its path only.
-  std::vector<double> path_len_mm;
-  ktable::SlotVec slots;                ///< track assignment
-  std::vector<double> ki;               ///< per instance net, current Ki
-
-  bool empty() const { return net_index.empty(); }
-};
-
-struct FlowTiming {
-  double route_s = 0.0;
-  double sino_s = 0.0;
-  double refine_s = 0.0;
-};
-
-struct FlowResult {
-  FlowKind kind = FlowKind::kIdNo;
-  std::string name;
-  double bound_v = 0.15;
-
-  router::RoutingResult routing;
-  std::unique_ptr<router::Occupancy> occupancy;
-  std::vector<RegionSolution> solutions;  ///< index = region * 2 + dir
-  std::unique_ptr<grid::CongestionMap> congestion;
-  std::vector<double> critical_path_um;   ///< per net, longest src->sink path
-
-  std::vector<double> net_lsk;    ///< Eq. (1) per net
-  std::vector<double> net_noise;  ///< table lookup of net_lsk (V)
-  std::vector<double> kth;        ///< per-net budget at flow start
-
-  double total_wirelength_um = 0.0;
-  double avg_wirelength_um = 0.0;
-  grid::RoutingArea area;
-  double total_shields = 0.0;
-  std::size_t violating = 0;   ///< nets with noise > bound
-  std::size_t unfixable = 0;   ///< GSINO: nets Phase III gave up on
-  FlowTiming timing;
-
-  std::size_t sol_index(std::size_t region, grid::Dir d) const {
-    return region * 2 + static_cast<std::size_t>(d);
-  }
-};
-
 class FlowRunner {
  public:
-  explicit FlowRunner(const RoutingProblem& problem) : problem_(&problem) {}
+  explicit FlowRunner(const RoutingProblem& problem) : session_(problem) {}
 
-  FlowResult run(FlowKind kind) const;
+  /// Serialized internally: the historical const run() was stateless and
+  /// safe to call concurrently on a shared runner, and the shim keeps
+  /// that contract even though the underlying session mutates its caches
+  /// (FlowSession itself is single-threaded by design — one pipeline, not
+  /// a concurrent service).
+  FlowResult run(FlowKind kind) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return session_.run(kind);
+  }
 
  private:
-  const RoutingProblem* problem_;
+  mutable std::mutex mutex_;
+  mutable FlowSession session_;
 };
-
-// ---- shared flow machinery (used by FlowRunner and the Phase III refiner)
-
-/// Re-solve one region under the instance's current Kth values (greedy,
-/// optionally annealing when infeasible), updating slots/ki, the region's
-/// shield count in the congestion map, and every member net's LSK/noise.
-void resolve_region(FlowResult& fr, const RoutingProblem& problem,
-                    std::size_t sol_index, bool allow_anneal);
-
-/// Density (utilization / capacity) of the (region, dir) behind `sol_index`
-/// under the current congestion map.
-double solution_density(const FlowResult& fr, const RoutingProblem& problem,
-                        std::size_t sol_index);
-
-/// Recompute noise from LSK for all nets and refresh the violation count.
-void refresh_noise(FlowResult& fr, const RoutingProblem& problem);
-
-/// Recompute area / shields / wirelength aggregates from current state.
-void finalize_metrics(FlowResult& fr, const RoutingProblem& problem);
 
 }  // namespace rlcr::gsino

@@ -19,17 +19,89 @@ std::ptrdiff_t find_member(const RegionSolution& sol, std::size_t net) {
   return -1;
 }
 
+/// Snapshot of one region's state, for accept/reject reverts.
+struct RegionBackup {
+  std::size_t sol_index = 0;
+  RegionSolution solution;
+  std::vector<double> lsk, noise;  ///< per member net
+  double shields_before = 0.0;
+};
+
+RegionBackup snapshot(const FlowState& fs, std::size_t si) {
+  RegionBackup b;
+  b.sol_index = si;
+  b.solution = fs.solutions[si];
+  b.lsk.reserve(b.solution.net_index.size());
+  b.noise.reserve(b.solution.net_index.size());
+  for (std::size_t n : b.solution.net_index) {
+    b.lsk.push_back(fs.net_lsk[n]);
+    b.noise.push_back(fs.net_noise[n]);
+  }
+  b.shields_before = fs.congestion->shields(sol_region(si), sol_dir(si));
+  return b;
+}
+
+void restore(FlowState& fs, const RegionBackup& b) {
+  fs.solutions[b.sol_index] = b.solution;
+  const RegionSolution& sol = fs.solutions[b.sol_index];
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    fs.net_lsk[sol.net_index[i]] = b.lsk[i];
+    fs.net_noise[sol.net_index[i]] = b.noise[i];
+  }
+  fs.congestion->set_shields(sol_region(b.sol_index), sol_dir(b.sol_index),
+                             b.shields_before);
+}
+
+/// Pass 2's Kth loosening: convert each member net's noise slack into a
+/// per-mm coupling allowance (Fig. 2 pass 2 inner loop). A net whose
+/// critical path does not run through this region tolerates any coupling
+/// here; give it generous headroom.
+void loosen_kth(FlowState& fs, std::size_t si, double lsk_budget) {
+  RegionSolution& sol = fs.solutions[si];
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    const std::size_t n = sol.net_index[i];
+    sino::SinoNet& snet = sol.instance.net(i);
+    const double ki_now = i < sol.ki.size() ? sol.ki[i] : 0.0;
+    if (sol.path_len_mm[i] <= 0.0) {
+      snet.kth = std::max(snet.kth, 3.0 * (ki_now + 1.0));
+      continue;
+    }
+    const double slack_lsk = lsk_budget - fs.net_lsk[n];
+    if (slack_lsk <= 0.0) continue;
+    const double dk = 0.9 * slack_lsk / sol.path_len_mm[i];
+    snet.kth = std::max(snet.kth, ki_now + dk);
+  }
+}
+
+/// Accept iff the re-solve removed at least one shield and no member net
+/// violates the bound.
+bool accepted(const FlowState& fs, const RegionBackup& b) {
+  const double shields_after =
+      fs.congestion->shields(sol_region(b.sol_index), sol_dir(b.sol_index));
+  if (shields_after >= b.shields_before) return false;
+  for (std::size_t n : fs.solutions[b.sol_index].net_index) {
+    if (fs.net_noise[n] > fs.bound_v + 1e-9) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-RefineStats LocalRefiner::refine(FlowResult& fr) const {
+RefineStats LocalRefiner::refine(FlowState& fs,
+                                 const RefineOptions& options) const {
   RefineStats stats;
-  eliminate_violations(fr, stats);
-  reduce_congestion(fr, stats);
-  refresh_noise(fr, *problem_);
+  eliminate_violations(fs, stats);
+  if (options.batch_pass2) {
+    reduce_congestion_batched(fs, stats, options);
+  } else {
+    reduce_congestion(fs, stats);
+  }
+  fs.refresh_noise();
   return stats;
 }
 
-void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) const {
+void LocalRefiner::eliminate_violations(FlowState& fs,
+                                        RefineStats& stats) const {
   const RoutingProblem& p = *problem_;
   const auto& params = p.params();
   std::unordered_set<std::size_t> gave_up;
@@ -37,32 +109,32 @@ void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) cons
   for (int outer = 0; outer < params.lr_max_outer_pass1; ++outer) {
     // Net with the most severe violation.
     std::size_t worst = 0;
-    double worst_noise = fr.bound_v + 1e-9;
+    double worst_noise = fs.bound_v + 1e-9;
     bool found = false;
-    for (std::size_t n = 0; n < fr.net_noise.size(); ++n) {
+    for (std::size_t n = 0; n < fs.net_noise.size(); ++n) {
       if (gave_up.count(n)) continue;
-      if (fr.net_noise[n] > worst_noise) {
-        worst_noise = fr.net_noise[n];
+      if (fs.net_noise[n] > worst_noise) {
+        worst_noise = fs.net_noise[n];
         worst = n;
         found = true;
       }
     }
     if (!found) break;
 
-    const double lsk_budget = p.lsk_table().lsk_budget(fr.bound_v);
+    const double lsk_budget = p.lsk_table().lsk_budget(fs.bound_v);
     bool fixed = false;
     for (int inner = 0; inner < params.lr_max_inner_pass1; ++inner) {
       // Least congested (region, dir) the net crosses where it still has
       // coupling worth removing.
-      const auto& refs = fr.occupancy->net_refs(worst);
+      const auto& refs = fs.occupancy().net_refs(worst);
       double best_density = std::numeric_limits<double>::infinity();
       std::size_t best_sol = 0;
       std::size_t best_member = 0;
       double best_len = 0.0;
       bool have = false;
       for (const router::NetRegionRef& ref : refs) {
-        const std::size_t si = fr.sol_index(ref.region, ref.dir);
-        const RegionSolution& cand = fr.solutions[si];
+        const std::size_t si = fs.sol_index(ref.region, ref.dir);
+        const RegionSolution& cand = fs.solutions[si];
         if (cand.empty()) continue;
         const std::ptrdiff_t m = find_member(cand, worst);
         if (m < 0) continue;
@@ -71,7 +143,7 @@ void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) cons
         // contribution, or whose bound has bottomed out.
         const double contribution = cand.path_len_mm[cmi] * cand.ki[cmi];
         if (contribution < 1e-6 || cand.instance.net(cmi).kth <= 2e-6) continue;
-        const double dens = solution_density(fr, p, si);
+        const double dens = fs.solution_density(si);
         if (dens < best_density) {
           best_density = dens;
           best_sol = si;
@@ -82,7 +154,7 @@ void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) cons
       }
       if (!have) break;
 
-      RegionSolution& sol = fr.solutions[best_sol];
+      RegionSolution& sol = fs.solutions[best_sol];
       const auto mi = best_member;
 
       // Tighten the bound so the re-solve must add shielding (Fig. 2:
@@ -90,7 +162,7 @@ void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) cons
       // the whole remaining excess from this region when it can, otherwise
       // drives this region's contribution to (almost) nothing and the next
       // iteration moves on to another region.
-      const double excess = fr.net_lsk[worst] - lsk_budget;
+      const double excess = fs.net_lsk[worst] - lsk_budget;
       const double contribution = sol.path_len_mm[mi] * sol.ki[mi];
       const double target_contribution = contribution - 1.1 * excess;
       sino::SinoNet& snet = sol.instance.net(mi);
@@ -99,10 +171,10 @@ void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) cons
       snet.kth = std::clamp(std::min(targeted, snet.kth * params.lr_kth_shrink),
                             1e-6, snet.kth);
 
-      resolve_region(fr, p, best_sol, /*allow_anneal=*/true);
+      fs.resolve_region(best_sol, /*allow_anneal=*/true);
       ++stats.pass1_resolves;
 
-      if (fr.net_noise[worst] <= fr.bound_v + 1e-9) {
+      if (fs.net_noise[worst] <= fs.bound_v + 1e-9) {
         fixed = true;
         break;
       }
@@ -115,14 +187,14 @@ void LocalRefiner::eliminate_violations(FlowResult& fr, RefineStats& stats) cons
       ++stats.pass1_gave_up;
     }
   }
-  fr.unfixable = gave_up.size();
-  refresh_noise(fr, p);
+  fs.unfixable = gave_up.size();
+  fs.refresh_noise();
 }
 
-void LocalRefiner::reduce_congestion(FlowResult& fr, RefineStats& stats) const {
+void LocalRefiner::reduce_congestion(FlowState& fs, RefineStats& stats) const {
   const RoutingProblem& p = *problem_;
   const auto& params = p.params();
-  const double lsk_budget = p.lsk_table().lsk_budget(fr.bound_v);
+  const double lsk_budget = p.lsk_table().lsk_budget(fs.bound_v);
   std::unordered_set<std::size_t> done;
 
   for (int outer = 0; outer < params.lr_max_outer_pass2; ++outer) {
@@ -130,12 +202,12 @@ void LocalRefiner::reduce_congestion(FlowResult& fr, RefineStats& stats) const {
     double worst_density = 0.0;
     std::size_t pick = 0;
     bool found = false;
-    for (std::size_t si = 0; si < fr.solutions.size(); ++si) {
-      if (done.count(si) || fr.solutions[si].empty()) continue;
-      if (fr.congestion->shields(si / 2, static_cast<grid::Dir>(si % 2)) < 1.0) {
+    for (std::size_t si = 0; si < fs.solutions.size(); ++si) {
+      if (done.count(si) || fs.solutions[si].empty()) continue;
+      if (fs.congestion->shields(sol_region(si), sol_dir(si)) < 1.0) {
         continue;
       }
-      const double dens = solution_density(fr, p, si);
+      const double dens = fs.solution_density(si);
       if (dens > worst_density) {
         worst_density = dens;
         pick = si;
@@ -144,70 +216,101 @@ void LocalRefiner::reduce_congestion(FlowResult& fr, RefineStats& stats) const {
     }
     if (!found) break;
 
-    RegionSolution& sol = fr.solutions[pick];
+    const RegionBackup backup = snapshot(fs, pick);
+    loosen_kth(fs, pick, lsk_budget);
+    fs.resolve_region(pick, /*allow_anneal=*/false);
 
-    // Snapshot for revert.
-    const RegionSolution backup = sol;
-    std::vector<double> lsk_backup, noise_backup;
-    lsk_backup.reserve(sol.net_index.size());
-    noise_backup.reserve(sol.net_index.size());
-    for (std::size_t n : sol.net_index) {
-      lsk_backup.push_back(fr.net_lsk[n]);
-      noise_backup.push_back(fr.net_noise[n]);
-    }
-    const double shields_before =
-        fr.congestion->shields(pick / 2, static_cast<grid::Dir>(pick % 2));
-
-    // Loosen Kth of each member net by (most of) its noise-slack converted
-    // to a per-mm coupling allowance (Fig. 2 pass 2 inner loop). A net
-    // whose critical path does not run through this region tolerates any
-    // coupling here; give it generous headroom.
-    for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
-      const std::size_t n = sol.net_index[i];
-      sino::SinoNet& snet = sol.instance.net(i);
-      const double ki_now = i < sol.ki.size() ? sol.ki[i] : 0.0;
-      if (sol.path_len_mm[i] <= 0.0) {
-        snet.kth = std::max(snet.kth, 3.0 * (ki_now + 1.0));
-        continue;
-      }
-      const double slack_lsk = lsk_budget - fr.net_lsk[n];
-      if (slack_lsk <= 0.0) continue;
-      const double dk = 0.9 * slack_lsk / sol.path_len_mm[i];
-      snet.kth = std::max(snet.kth, ki_now + dk);
-    }
-
-    resolve_region(fr, p, pick, /*allow_anneal=*/false);
-
-    const double shields_after =
-        fr.congestion->shields(pick / 2, static_cast<grid::Dir>(pick % 2));
-    bool ok = shields_after < shields_before;
-    if (ok) {
-      for (std::size_t n : sol.net_index) {
-        if (fr.net_noise[n] > fr.bound_v + 1e-9) {
-          ok = false;
-          break;
-        }
-      }
-    }
-
-    if (ok) {
+    if (accepted(fs, backup)) {
+      const double shields_after =
+          fs.congestion->shields(sol_region(pick), sol_dir(pick));
       stats.pass2_shields_removed +=
-          static_cast<int>(shields_before - shields_after);
+          static_cast<int>(backup.shields_before - shields_after);
       ++stats.pass2_accepted;
       // Stay eligible: more slack may be harvestable here. Termination is
       // still guaranteed because every acceptance removes at least one
       // shield and the total shield count is finite.
     } else {
-      // Revert.
-      sol = backup;
-      for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
-        fr.net_lsk[sol.net_index[i]] = lsk_backup[i];
-        fr.net_noise[sol.net_index[i]] = noise_backup[i];
-      }
-      fr.congestion->set_shields(pick / 2, static_cast<grid::Dir>(pick % 2),
-                                 shields_before);
+      restore(fs, backup);
       ++stats.pass2_rejected;
       done.insert(pick);
+    }
+  }
+}
+
+void LocalRefiner::reduce_congestion_batched(FlowState& fs, RefineStats& stats,
+                                             const RefineOptions& options) const {
+  const RoutingProblem& p = *problem_;
+  const auto& params = p.params();
+  const double lsk_budget = p.lsk_table().lsk_budget(fs.bound_v);
+  std::unordered_set<std::size_t> done;
+  std::vector<char> net_claimed(p.net_count(), 0);
+
+  int regions_processed = 0;
+  while (regions_processed < params.lr_max_outer_pass2) {
+    // Eligible regions by descending density (index ascending on ties —
+    // selection is a pure function of the current state).
+    std::vector<std::size_t> eligible;
+    for (std::size_t si = 0; si < fs.solutions.size(); ++si) {
+      if (done.count(si) || fs.solutions[si].empty()) continue;
+      if (fs.congestion->shields(sol_region(si), sol_dir(si)) < 1.0) {
+        continue;
+      }
+      eligible.push_back(si);
+    }
+    std::stable_sort(eligible.begin(), eligible.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return fs.solution_density(a) > fs.solution_density(b);
+                     });
+
+    // Greedy maximal net-disjoint subset: regions sharing no net, so each
+    // accept/reject decision is independent of the others in the sweep.
+    std::fill(net_claimed.begin(), net_claimed.end(), 0);
+    std::vector<std::size_t> picked;
+    for (std::size_t si : eligible) {
+      if (regions_processed + static_cast<int>(picked.size()) >=
+          params.lr_max_outer_pass2) {
+        break;
+      }
+      const RegionSolution& sol = fs.solutions[si];
+      bool disjoint = true;
+      for (std::size_t n : sol.net_index) {
+        if (net_claimed[n]) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) continue;
+      for (std::size_t n : sol.net_index) net_claimed[n] = 1;
+      picked.push_back(si);
+    }
+    if (picked.empty()) break;
+
+    std::vector<RegionBackup> backups;
+    backups.reserve(picked.size());
+    for (std::size_t si : picked) {
+      backups.push_back(snapshot(fs, si));
+      loosen_kth(fs, si, lsk_budget);
+    }
+
+    // One batch re-solve across the pool; bit-identical to resolving the
+    // picked regions one at a time in this order.
+    fs.resolve_regions(picked, /*allow_anneal=*/false, options.threads);
+    ++stats.batch_sweeps;
+    stats.batch_regions_resolved += static_cast<int>(picked.size());
+    regions_processed += static_cast<int>(picked.size());
+
+    for (const RegionBackup& b : backups) {
+      if (accepted(fs, b)) {
+        const double shields_after =
+            fs.congestion->shields(sol_region(b.sol_index), sol_dir(b.sol_index));
+        stats.pass2_shields_removed +=
+            static_cast<int>(b.shields_before - shields_after);
+        ++stats.pass2_accepted;
+      } else {
+        restore(fs, b);
+        ++stats.pass2_rejected;
+        done.insert(b.sol_index);
+      }
     }
   }
 }

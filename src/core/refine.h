@@ -1,4 +1,6 @@
-// Phase III: two-pass iterative local refinement (the paper's Fig. 2).
+// Phase III: two-pass iterative local refinement (the paper's Fig. 2),
+// operating on a FlowState (the mutable working state a FlowSession builds
+// over a RegionSolveArtifact).
 //
 // Pass 1 (eliminate crosstalk violations): Phase I budgeted with Manhattan
 // distances, so detoured nets can exceed their noise bound. For the net
@@ -11,31 +13,34 @@
 // nets with slack (noise headroom) looser Kth in proportion to that slack
 // and re-run SINO; accept the new solution only if it removes at least one
 // shield and causes no new violations.
+//
+// Batched pass 2 (RefineOptions::batch_pass2): instead of one region per
+// step, each sweep picks a maximal net-disjoint set of eligible congested
+// regions (descending density), loosens them all, re-solves them in one
+// sino::solve_batch call across the pool, and then accepts/rejects each
+// individually. Net-disjointness makes the per-region accept checks
+// independent, so the sweep's outcome is deterministic and bit-identical
+// at any thread count; it visits regions in a different order than the
+// serial pass, so batched results differ from batch_pass2=false (the
+// goldens pin the serial pass).
 #pragma once
 
-#include "core/flow.h"
+#include "core/session.h"
 
 namespace rlcr::gsino {
-
-struct RefineStats {
-  int pass1_nets_fixed = 0;
-  int pass1_resolves = 0;
-  int pass1_gave_up = 0;
-  int pass2_shields_removed = 0;
-  int pass2_accepted = 0;
-  int pass2_rejected = 0;
-};
 
 class LocalRefiner {
  public:
   explicit LocalRefiner(const RoutingProblem& problem) : problem_(&problem) {}
 
   /// Run pass 1 then pass 2 on a flow state produced by Phase II.
-  RefineStats refine(FlowResult& fr) const;
+  RefineStats refine(FlowState& fs, const RefineOptions& options = {}) const;
 
   /// Individual passes (exposed for tests and the ablation bench).
-  void eliminate_violations(FlowResult& fr, RefineStats& stats) const;
-  void reduce_congestion(FlowResult& fr, RefineStats& stats) const;
+  void eliminate_violations(FlowState& fs, RefineStats& stats) const;
+  void reduce_congestion(FlowState& fs, RefineStats& stats) const;
+  void reduce_congestion_batched(FlowState& fs, RefineStats& stats,
+                                 const RefineOptions& options) const;
 
  private:
   const RoutingProblem* problem_;

@@ -1,0 +1,566 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/paths.h"
+#include "core/refine.h"
+#include "parallel/parallel_for.h"
+#include "sino/anneal.h"
+#include "sino/batch.h"
+#include "sino/greedy.h"
+#include "util/stopwatch.h"
+
+namespace rlcr::gsino {
+
+const char* flow_name(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kIdNo:
+      return "ID+NO";
+    case FlowKind::kIsino:
+      return "iSINO";
+    case FlowKind::kGsino:
+      return "GSINO";
+  }
+  return "?";
+}
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kRoute:
+      return "route";
+    case Stage::kBudget:
+      return "budget";
+    case Stage::kSolveRegions:
+      return "solve_regions";
+    case Stage::kRefine:
+      return "refine";
+  }
+  return "?";
+}
+
+BudgetRule budget_rule(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kIdNo:
+      return BudgetRule::kManhattan;
+    case FlowKind::kIsino:
+      return BudgetRule::kRoutedLength;
+    case FlowKind::kGsino:
+      return BudgetRule::kManhattanMargin;
+  }
+  return BudgetRule::kManhattan;
+}
+
+namespace {
+
+/// Build the SINO instance for one (region, dir) from the occupancy.
+RegionSolution build_region(const RoutingProblem& problem,
+                            const router::Occupancy& occ, std::size_t region,
+                            grid::Dir dir, const std::vector<double>& kth,
+                            const PathIndex& paths) {
+  RegionSolution sol;
+  const auto& segs = occ.segments(region, dir);
+  if (segs.empty()) return sol;
+
+  std::vector<sino::SinoNet> nets;
+  nets.reserve(segs.size());
+  sol.net_index.reserve(segs.size());
+  sol.len_mm.reserve(segs.size());
+  sol.path_len_mm.reserve(segs.size());
+  for (const router::Segment& s : segs) {
+    const auto n = static_cast<std::size_t>(s.net_index);
+    sino::SinoNet sn;
+    sn.net_id = s.net_index;
+    sn.si = problem.router_nets()[n].si;
+    sn.kth = kth[n];
+    nets.push_back(sn);
+    sol.net_index.push_back(n);
+    sol.len_mm.push_back(s.length_um / 1000.0);
+    sol.path_len_mm.push_back(paths.length_um(n, region, dir) / 1000.0);
+  }
+  sol.instance = sino::SinoInstance(std::move(nets));
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    for (std::size_t j = i + 1; j < sol.net_index.size(); ++j) {
+      if (problem.sensitivity().sensitive(
+              static_cast<netlist::NetId>(sol.net_index[i]),
+              static_cast<netlist::NetId>(sol.net_index[j]))) {
+        sol.instance.set_sensitive(i, j);
+      }
+    }
+  }
+  return sol;
+}
+
+/// The historical per-region annealing stream seed of Phase III re-solves.
+std::uint64_t resolve_seed(const RoutingProblem& p, std::size_t sol_index) {
+  return p.params().seed ^ (sol_index * 131071u);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FlowState
+
+void FlowState::commit_region(std::size_t sol_idx, ktable::SlotVec&& slots,
+                              std::vector<double>&& ki) {
+  RegionSolution& sol = solutions[sol_idx];
+  const RoutingProblem& p = *problem;
+
+  // Remove old LSK contributions (critical-path lengths; Eq. 1 is per sink).
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    if (i < sol.ki.size()) {
+      net_lsk[sol.net_index[i]] -= sol.path_len_mm[i] * sol.ki[i];
+    }
+  }
+
+  sol.slots = std::move(slots);
+  sol.ki = std::move(ki);
+
+  // Add new contributions and refresh noise for member nets.
+  for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+    net_lsk[sol.net_index[i]] += sol.path_len_mm[i] * sol.ki[i];
+    net_noise[sol.net_index[i]] =
+        p.lsk_table().voltage(net_lsk[sol.net_index[i]]);
+  }
+
+  // Refresh the region's shield count.
+  congestion->set_shields(
+      sol_region(sol_idx), sol_dir(sol_idx),
+      static_cast<double>(sino::SinoEvaluator::shield_count(sol.slots)));
+}
+
+void FlowState::resolve_region(std::size_t sol_idx, bool allow_anneal) {
+  RegionSolution& sol = solutions[sol_idx];
+  if (sol.empty()) return;
+  const RoutingProblem& p = *problem;
+  const auto& keff = p.keff();
+  util::Stopwatch watch;
+
+  ktable::SlotVec slots = sino::solve_greedy(sol.instance, keff);
+  if (allow_anneal) {
+    const sino::SinoEvaluator check_eval(sol.instance, keff);
+    if (!check_eval.check(slots).feasible()) {
+      sino::AnnealOptions ao;
+      ao.seed = resolve_seed(p, sol_idx);
+      ao.iterations = p.params().anneal_iterations;
+      auto best = sino::solve_anneal(sol.instance, keff, ao);
+      if (best.feasible) slots = std::move(best.slots);
+    }
+  }
+  const sino::SinoEvaluator eval(sol.instance, keff);
+  std::vector<double> ki = eval.all_ki(slots);
+  commit_region(sol_idx, std::move(slots), std::move(ki));
+
+  if (observer) {
+    observer(StageEvent{Stage::kRefine, kind, sol_idx, watch.seconds(), false});
+  }
+}
+
+void FlowState::resolve_regions(const std::vector<std::size_t>& sol_indices,
+                                bool allow_anneal, int threads) {
+  const RoutingProblem& p = *problem;
+
+  // Fan the solves out: each item is self-contained (the solve reads only
+  // its instance), so the batch is bit-identical to the serial loop.
+  std::vector<sino::SinoBatchItem> items(sol_indices.size());
+  for (std::size_t k = 0; k < sol_indices.size(); ++k) {
+    const RegionSolution& sol = solutions[sol_indices[k]];
+    if (sol.empty()) continue;
+    items[k].instance = &sol.instance;
+    items[k].mode = allow_anneal ? sino::SinoSolveMode::kGreedyAnneal
+                                 : sino::SinoSolveMode::kGreedy;
+    items[k].anneal_seed = resolve_seed(p, sol_indices[k]);
+    items[k].anneal_iterations = p.params().anneal_iterations;
+  }
+  sino::SinoBatchOptions bopt;
+  bopt.threads = threads;
+  std::vector<sino::SinoBatchResult> solved =
+      sino::solve_batch(items, p.keff(), bopt);
+
+  // Serial replay in the given order: commit_region is the same sequence
+  // the one-at-a-time loop runs, so the floating-point op order matches
+  // exactly.
+  util::Stopwatch watch;
+  for (std::size_t k = 0; k < sol_indices.size(); ++k) {
+    const std::size_t si = sol_indices[k];
+    if (solutions[si].empty()) continue;
+    commit_region(si, std::move(solved[k].slots), std::move(solved[k].ki));
+    if (observer) {
+      // Same per-region progress events as the serial loop; solver time is
+      // fanned out across the pool, so `seconds` carries this region's
+      // replay slice only.
+      observer(StageEvent{Stage::kRefine, kind, si, watch.seconds(), false});
+      watch.reset();
+    }
+  }
+}
+
+double FlowState::solution_density(std::size_t sol_idx) const {
+  return congestion->density(sol_region(sol_idx), sol_dir(sol_idx));
+}
+
+void FlowState::refresh_noise() {
+  const auto& table = problem->lsk_table();
+  violating = 0;
+  for (std::size_t n = 0; n < net_lsk.size(); ++n) {
+    net_noise[n] = table.voltage(net_lsk[n]);
+    if (net_noise[n] > bound_v + 1e-9) ++violating;
+  }
+}
+
+// -------------------------------------------------------------- FlowSession
+
+FlowSession::FlowSession(const RoutingProblem& problem, SessionOptions options)
+    : problem_(&problem), options_(std::move(options)) {}
+
+void FlowSession::emit(Stage stage, FlowKind flow, double seconds,
+                       bool reused) const {
+  if (options_.observer) {
+    options_.observer(StageEvent{stage, flow, kNoRegion, seconds, reused});
+  }
+}
+
+router::IdRouterOptions FlowSession::router_profile(FlowKind kind) const {
+  router::IdRouterOptions ropt = problem_->params().router;
+  // The paper's fairness rule: only GSINO reserves shield area in Eq. (2).
+  ropt.reserve_shields = (kind == FlowKind::kGsino);
+  if (kind == FlowKind::kGsino) {
+    // GSINO trades a little wire length for crosstalk headroom (Table 2's
+    // overhead): give its shield-aware weights room to detour around
+    // shield-laden regions.
+    ropt.max_detour_factor = std::max(ropt.max_detour_factor, 1.5);
+  }
+  return ropt;
+}
+
+std::shared_ptr<const RoutingArtifact> FlowSession::route(FlowKind kind) {
+  return route(router_profile(kind), kind);
+}
+
+std::shared_ptr<const RoutingArtifact> FlowSession::route(
+    const router::IdRouterOptions& options, FlowKind kind) {
+  ++counters_.route_requests;
+  for (const RouteEntry& e : route_cache_) {
+    if (e.options.same_routing_profile(options)) {
+      emit(Stage::kRoute, kind, e.artifact->seconds, /*reused=*/true);
+      return e.artifact;
+    }
+  }
+
+  const RoutingProblem& p = *problem_;
+  util::Stopwatch watch;
+  auto art = std::make_shared<RoutingArtifact>();
+  art->options = options;
+  art->seed = p.params().seed;
+
+  const router::IdRouter router(p.grid(), p.nss(), options);
+  auto routing = std::make_shared<router::RoutingResult>(
+      router.route(p.router_nets()));
+  auto occupancy =
+      std::make_shared<router::Occupancy>(p.grid(), routing->routes);
+  auto segments = std::make_shared<grid::CongestionMap>(p.grid());
+  occupancy->fill_segments(*segments);
+
+  // Critical source->sink paths (the per-sink scope of Eq. 1).
+  const std::vector<CriticalPath> paths =
+      critical_paths(p.grid(), p.router_nets(), routing->routes);
+  auto index = std::make_shared<PathIndex>();
+  auto lengths = std::make_shared<std::vector<double>>(p.net_count(), 0.0);
+  for (std::size_t n = 0; n < paths.size(); ++n) {
+    (*lengths)[n] = paths[n].length_um;
+    for (const router::NetRegionRef& ref : paths[n].refs) {
+      index->set(n, ref.region, ref.dir, ref.length_um);
+    }
+  }
+
+  art->routing = std::move(routing);
+  art->occupancy = std::move(occupancy);
+  art->segments = std::move(segments);
+  art->critical_path_um = std::move(lengths);
+  art->paths = std::move(index);
+  art->seconds = watch.seconds();
+
+  ++counters_.route_executed;
+  route_cache_.push_back(RouteEntry{options, art});
+  emit(Stage::kRoute, kind, art->seconds, /*reused=*/false);
+  return art;
+}
+
+std::shared_ptr<const BudgetArtifact> FlowSession::budget(
+    FlowKind kind, const std::shared_ptr<const RoutingArtifact>& phase1,
+    double bound_v, double margin) {
+  ++counters_.budget_requests;
+  const BudgetRule rule = budget_rule(kind);
+  // Only the margin rule applies the margin: normalize it out of the cache
+  // identity for the other rules, so a margin-only what-if on ID+NO/iSINO
+  // reuses the (bit-identical) budget instead of re-running Phase II.
+  if (rule != BudgetRule::kManhattanMargin) margin = 1.0;
+  // Only the iSINO rule reads the routing; the Manhattan rules are
+  // routing-independent and shared across profiles.
+  const std::shared_ptr<const RoutingArtifact> route_id =
+      rule == BudgetRule::kRoutedLength ? phase1 : nullptr;
+  for (const BudgetEntry& e : budget_cache_) {
+    if (e.rule == rule && e.bound_v == bound_v && e.margin == margin &&
+        e.phase1 == route_id) {
+      emit(Stage::kBudget, kind, e.artifact->seconds, /*reused=*/true);
+      return e.artifact;
+    }
+  }
+
+  const RoutingProblem& p = *problem_;
+  util::Stopwatch watch;
+  auto art = std::make_shared<BudgetArtifact>();
+  art->rule = rule;
+  art->bound_v = bound_v;
+  art->margin = margin;
+
+  const CrosstalkBudgeter budgeter(p.lsk_table(), bound_v);
+  auto kth = std::make_shared<std::vector<double>>();
+  if (rule == BudgetRule::kRoutedLength) {
+    // iSINO runs SINO after routing, so its bounds use the actual routed
+    // critical-path lengths (this is what lets it meet every bound without
+    // refinement — at the cost of the unplanned shield area Table 3 shows).
+    kth->resize(p.net_count());
+    for (std::size_t n = 0; n < p.net_count(); ++n) {
+      const double routed_um =
+          std::max((*phase1->critical_path_um)[n], p.le_um()[n]);
+      (*kth)[n] = budgeter.kth_from_length(routed_um);
+    }
+  } else {
+    // ID+NO (reporting only) and GSINO (Phase I rule): Manhattan estimate,
+    // tightened by the budgeting safety margin for GSINO.
+    *kth = budgeter.uniform_kth(p);
+    if (rule == BudgetRule::kManhattanMargin) {
+      for (double& k : *kth) k *= margin;
+    }
+  }
+  art->kth = std::move(kth);
+  art->seconds = watch.seconds();
+
+  ++counters_.budget_executed;
+  budget_cache_.push_back(BudgetEntry{rule, bound_v, margin, route_id, art});
+  emit(Stage::kBudget, kind, art->seconds, /*reused=*/false);
+  return art;
+}
+
+std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_regions(
+    FlowKind kind, const std::shared_ptr<const RoutingArtifact>& phase1,
+    const std::shared_ptr<const BudgetArtifact>& budget, bool anneal_phase2) {
+  ++counters_.solve_requests;
+  const bool anneal = anneal_phase2 && kind != FlowKind::kIdNo;
+  for (const SolveEntry& e : solve_cache_) {
+    if (e.kind == kind && e.anneal == anneal && e.phase1 == phase1.get() &&
+        e.budget == budget.get()) {
+      emit(Stage::kSolveRegions, kind, e.artifact->seconds, /*reused=*/true);
+      return e.artifact;
+    }
+  }
+
+  const RoutingProblem& p = *problem_;
+  util::Stopwatch watch;
+  auto art = std::make_shared<RegionSolveArtifact>();
+  art->kind = kind;
+  art->annealed = anneal;
+  art->phase1 = phase1;
+  art->budget = budget;
+
+  // Every (region, dir) SINO instance is independent: the instances are
+  // built with a parallel map, solved across the pool by the batch driver
+  // (sino/batch.h, each region with its own deterministic RNG stream), and
+  // the LSK/shield accumulation replays serially in the historical
+  // (region, dir) order — so the phase's output is bit-identical at any
+  // thread count, threads == 1 being the exact serial path.
+  const std::size_t regions = p.grid().region_count();
+  const std::size_t sol_count = regions * 2;
+  auto net_lsk = std::make_shared<std::vector<double>>(p.net_count(), 0.0);
+  auto net_noise = std::make_shared<std::vector<double>>(p.net_count(), 0.0);
+  const std::vector<double>& kth = *budget->kth;
+  const PathIndex& paths = *phase1->paths;
+
+  constexpr std::size_t kRegionGrain = 32;  // instances per chunk (fixed)
+  auto solutions = std::make_shared<std::vector<RegionSolution>>(
+      parallel::parallel_map<RegionSolution>(
+          sol_count, kRegionGrain, p.params().threads, [&](std::size_t si) {
+            return build_region(p, *phase1->occupancy, sol_region(si),
+                                sol_dir(si), kth, paths);
+          }));
+
+  std::vector<sino::SinoBatchItem> items(sol_count);
+  for (std::size_t si = 0; si < sol_count; ++si) {
+    const RegionSolution& sol = (*solutions)[si];
+    if (sol.empty()) continue;
+    sino::SinoBatchItem& item = items[si];
+    item.instance = &sol.instance;
+    if (kind == FlowKind::kIdNo) {
+      item.mode = sino::SinoSolveMode::kNetOrder;
+    } else if (anneal) {
+      item.mode = sino::SinoSolveMode::kGreedyAnneal;
+      // The historical per-region stream seed, preserved so annealed
+      // Phase II results stay identical to the pre-batch flow.
+      item.anneal_seed = p.params().seed ^ (sol.net_index.front() * 977u);
+      item.anneal_iterations = p.params().anneal_iterations;
+    } else {
+      item.mode = sino::SinoSolveMode::kGreedy;
+    }
+  }
+  sino::SinoBatchOptions bopt;
+  bopt.threads = p.params().threads;
+  std::vector<sino::SinoBatchResult> solved =
+      sino::solve_batch(items, p.keff(), bopt);
+
+  auto congestion = std::make_shared<grid::CongestionMap>(*phase1->segments);
+  for (std::size_t r = 0; r < regions; ++r) {
+    for (grid::Dir d : grid::kBothDirs) {
+      const std::size_t si = art->sol_index(r, d);
+      RegionSolution& sol = (*solutions)[si];
+      if (sol.empty()) continue;
+      sol.slots = std::move(solved[si].slots);
+      sol.ki = std::move(solved[si].ki);
+      for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
+        (*net_lsk)[sol.net_index[i]] += sol.path_len_mm[i] * sol.ki[i];
+      }
+      congestion->set_shields(
+          r, d,
+          static_cast<double>(sino::SinoEvaluator::shield_count(sol.slots)));
+    }
+  }
+
+  // Noise + violation count under this budget's bound.
+  const auto& table = p.lsk_table();
+  art->violating = 0;
+  for (std::size_t n = 0; n < net_lsk->size(); ++n) {
+    (*net_noise)[n] = table.voltage((*net_lsk)[n]);
+    if ((*net_noise)[n] > budget->bound_v + 1e-9) ++art->violating;
+  }
+
+  art->solutions = std::move(solutions);
+  art->net_lsk = std::move(net_lsk);
+  art->net_noise = std::move(net_noise);
+  art->congestion = std::move(congestion);
+  art->seconds = watch.seconds();
+
+  ++counters_.solve_executed;
+  solve_cache_.push_back(
+      SolveEntry{kind, anneal, phase1.get(), budget.get(), art});
+  emit(Stage::kSolveRegions, kind, art->seconds, /*reused=*/false);
+  return art;
+}
+
+FlowState FlowSession::state(const RegionSolveArtifact& solve) const {
+  FlowState st;
+  st.problem = problem_;
+  st.kind = solve.kind;
+  st.bound_v = solve.budget->bound_v;
+  st.phase1 = solve.phase1;
+  st.budget = solve.budget;
+  st.solutions = *solve.solutions;  // mutable copies of the artifact state
+  st.net_lsk = *solve.net_lsk;
+  st.net_noise = *solve.net_noise;
+  st.congestion = std::make_unique<grid::CongestionMap>(*solve.congestion);
+  st.violating = solve.violating;
+  st.observer = options_.observer;
+  return st;
+}
+
+std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_for(
+    FlowKind kind, const Scenario& scenario) {
+  const GsinoParams& params = problem_->params();
+  auto r = route(kind);
+  auto b = budget(kind, r,
+                  scenario.bound_v.value_or(params.crosstalk_bound_v),
+                  scenario.budget_margin.value_or(params.budget_margin));
+  return solve_regions(kind, r, b,
+                       scenario.anneal_phase2.value_or(params.anneal_phase2));
+}
+
+FlowState FlowSession::state(FlowKind kind, const Scenario& scenario) {
+  return state(*solve_for(kind, scenario));
+}
+
+std::shared_ptr<const RefineArtifact> FlowSession::refine(
+    const std::shared_ptr<const RegionSolveArtifact>& solve,
+    const RefineOptions& options) {
+  ++counters_.refine_requests;
+  for (const RefineEntry& e : refine_cache_) {
+    if (e.solve == solve.get() && e.batch_pass2 == options.batch_pass2) {
+      emit(Stage::kRefine, solve->kind, e.artifact->seconds, /*reused=*/true);
+      return e.artifact;
+    }
+  }
+
+  util::Stopwatch watch;
+  FlowState st = state(*solve);
+  const LocalRefiner refiner(*problem_);
+  const RefineStats stats = refiner.refine(st, options);
+
+  auto art = std::make_shared<RefineArtifact>();
+  art->base = solve;
+  art->solutions = std::make_shared<const std::vector<RegionSolution>>(
+      std::move(st.solutions));
+  art->net_lsk =
+      std::make_shared<const std::vector<double>>(std::move(st.net_lsk));
+  art->net_noise =
+      std::make_shared<const std::vector<double>>(std::move(st.net_noise));
+  art->congestion = std::shared_ptr<const grid::CongestionMap>(
+      std::move(st.congestion));
+  art->violating = st.violating;
+  art->unfixable = st.unfixable;
+  art->stats = stats;
+  art->seconds = watch.seconds();
+
+  ++counters_.refine_executed;
+  refine_cache_.push_back(RefineEntry{solve.get(), options.batch_pass2, art});
+  emit(Stage::kRefine, solve->kind, art->seconds, /*reused=*/false);
+  return art;
+}
+
+FlowResult FlowSession::assemble(
+    FlowKind kind, std::shared_ptr<const RegionSolveArtifact> solve,
+    std::shared_ptr<const RefineArtifact> refined) const {
+  FlowResult fr;
+  fr.kind = kind;
+  fr.name = flow_name(kind);
+  fr.bound_v = solve->budget->bound_v;
+  fr.phase1 = solve->phase1;
+  fr.budget = solve->budget;
+  fr.phase2 = solve;
+  fr.phase3 = refined;
+  fr.occupancy = solve->phase1->occupancy;
+  if (refined) {
+    fr.solutions_ptr = refined->solutions;
+    fr.net_lsk_ptr = refined->net_lsk;
+    fr.net_noise_ptr = refined->net_noise;
+    fr.congestion = refined->congestion;
+    fr.violating = refined->violating;
+    fr.unfixable = refined->unfixable;
+  } else {
+    fr.solutions_ptr = solve->solutions;
+    fr.net_lsk_ptr = solve->net_lsk;
+    fr.net_noise_ptr = solve->net_noise;
+    fr.congestion = solve->congestion;
+    fr.violating = solve->violating;
+    fr.unfixable = 0;
+  }
+
+  const RoutingProblem& p = *problem_;
+  fr.total_wirelength_um = fr.phase1->routing->total_wirelength_um;
+  const std::size_t nets = p.net_count();
+  fr.avg_wirelength_um =
+      nets == 0 ? 0.0 : fr.total_wirelength_um / static_cast<double>(nets);
+  fr.area = grid::compute_routing_area(*fr.congestion);
+  fr.total_shields = fr.congestion->total_shields();
+  fr.timing.route_s = fr.phase1->seconds;
+  fr.timing.sino_s = solve->seconds;
+  fr.timing.refine_s = refined ? refined->seconds : 0.0;
+  return fr;
+}
+
+FlowResult FlowSession::run(FlowKind kind, const Scenario& scenario) {
+  auto sv = solve_for(kind, scenario);
+  std::shared_ptr<const RefineArtifact> refined;
+  if (kind == FlowKind::kGsino) {
+    refined = refine(sv, scenario.refine);
+  }
+  return assemble(kind, std::move(sv), std::move(refined));
+}
+
+}  // namespace rlcr::gsino

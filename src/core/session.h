@@ -1,0 +1,482 @@
+// Staged, re-entrant flow-session API.
+//
+// The three flows the paper compares (ID+NO, iSINO, GSINO) decompose into
+// the same four stages, each producing an immutable, shareable artifact:
+//
+//     route()          -> RoutingArtifact      (Phase I: global routing)
+//     budget()         -> BudgetArtifact       (Section 3.1: Kth bounds)
+//     solve_regions()  -> RegionSolveArtifact  (Phase II: per-region SINO)
+//     refine()         -> RefineArtifact       (Phase III: local refinement)
+//
+// A FlowSession owns the artifact caches for one RoutingProblem. Stage
+// inputs are explicit, so the dependency graph — and with it the
+// invalidation rules — is visible in the signatures:
+//
+//   - RoutingArtifact depends only on the router profile (IdRouterOptions
+//     minus `threads`, which never changes output) and the problem's nets.
+//     Changing `crosstalk_bound_v`, `budget_margin`, or any Phase II/III
+//     knob does NOT invalidate it — that is what makes what-if re-solves
+//     cheap. Changing router options or the seed produces a different
+//     profile and therefore a different artifact (and everything
+//     downstream of it).
+//   - BudgetArtifact depends on (rule, bound_v, margin) and — for the
+//     iSINO rule, which budgets from routed critical-path lengths — on the
+//     routing artifact it was derived from.
+//   - RegionSolveArtifact depends on its routing + budget artifacts and
+//     the Phase II knobs (solve mode, annealing).
+//   - RefineArtifact depends on its solve artifact and the Phase III knobs.
+//
+// All artifacts are held behind shared_ptr<const>: they are safe to share
+// across flows, sessions, and threads, and a FlowResult is nothing but a
+// thin assembled view over them. Determinism is inherited from
+// src/parallel's contract (see src/core/README.md): every stage is
+// bit-identical at any thread count, so a reused artifact is
+// indistinguishable from a recomputed one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/problem.h"
+#include "grid/congestion.h"
+#include "router/id_router.h"
+#include "router/occupancy.h"
+#include "sino/evaluator.h"
+
+namespace rlcr::gsino {
+
+enum class FlowKind { kIdNo, kIsino, kGsino };
+
+const char* flow_name(FlowKind kind);
+
+/// The (region, dir) <-> solution-index packing used by every per-region
+/// container (solutions, congestion shields, batch items): one slot per
+/// direction per region.
+inline std::size_t sol_index_of(std::size_t region, grid::Dir d) {
+  return region * 2 + static_cast<std::size_t>(d);
+}
+inline std::size_t sol_region(std::size_t sol_index) { return sol_index / 2; }
+inline grid::Dir sol_dir(std::size_t sol_index) {
+  return static_cast<grid::Dir>(sol_index % 2);
+}
+
+/// The SINO (or ordering) state of one (region, direction).
+struct RegionSolution {
+  sino::SinoInstance instance;          ///< nets with S_i and current Kth
+  std::vector<std::size_t> net_index;   ///< instance net -> global net index
+  std::vector<double> len_mm;           ///< net's tree wire length here (tracks)
+  /// Net's critical source->sink path length inside this region (mm); zero
+  /// when the region only hosts a branch to another sink. LSK (Eq. 1) sums
+  /// path_len_mm * Ki — noise at a sink accumulates along its path only.
+  std::vector<double> path_len_mm;
+  ktable::SlotVec slots;                ///< track assignment
+  std::vector<double> ki;               ///< per instance net, current Ki
+
+  bool empty() const { return net_index.empty(); }
+};
+
+struct FlowTiming {
+  double route_s = 0.0;
+  double sino_s = 0.0;
+  double refine_s = 0.0;
+};
+
+// --------------------------------------------------------------- observer
+
+/// Pipeline stages, in dependency order.
+enum class Stage { kRoute, kBudget, kSolveRegions, kRefine };
+
+const char* stage_name(Stage stage);
+
+constexpr std::size_t kNoRegion = static_cast<std::size_t>(-1);
+
+/// One stage-progress event. Region-scoped events (individual Phase III
+/// re-solves) carry the (region, dir) solution index in `region`; whole-
+/// stage events use kNoRegion. `reused` marks artifacts served from the
+/// session cache — their `seconds` is the original compute time, not the
+/// (near-zero) lookup time.
+struct StageEvent {
+  Stage stage = Stage::kRoute;
+  FlowKind flow = FlowKind::kIdNo;
+  std::size_t region = kNoRegion;
+  double seconds = 0.0;
+  bool reused = false;
+};
+
+/// Progress/observer callback: one type-erased signature for every
+/// consumer (sessions, the experiment harness, CLIs). Replaces the ad-hoc
+/// ExperimentOptions::progress signature.
+using StageObserver = std::function<void(const StageEvent&)>;
+
+// --------------------------------------------------------------- artifacts
+
+/// Index of per-(net, region, dir) critical-path lengths (um). Immutable
+/// part of the routing artifact: Eq. (1) sums path_len * Ki over the
+/// regions of a source->sink path only, so every downstream stage needs
+/// this lookup.
+class PathIndex {
+ public:
+  void set(std::size_t net, std::size_t region, grid::Dir dir, double len_um) {
+    map_[key(net, region, dir)] = len_um;
+  }
+  /// Length in um, or 0 when the region only hosts a branch.
+  double length_um(std::size_t net, std::size_t region, grid::Dir dir) const {
+    const auto it = map_.find(key(net, region, dir));
+    return it == map_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  static std::uint64_t key(std::size_t net, std::size_t region, grid::Dir dir) {
+    return (static_cast<std::uint64_t>(net) << 33) | (region << 1) |
+           static_cast<std::uint64_t>(dir);
+  }
+  std::unordered_map<std::uint64_t, double> map_;
+};
+
+/// Phase I output: the routed tree of every net plus the derived,
+/// flow-independent views (occupancy, segment congestion, critical paths).
+/// Shared by every flow whose router profile matches — ID+NO and iSINO
+/// always share one (the paper's fairness rule gives GSINO its own
+/// shield-reserving profile).
+struct RoutingArtifact {
+  router::IdRouterOptions options;  ///< profile actually routed with
+  /// Provenance: the problem seed this artifact was routed under. Not
+  /// part of the cache identity — a session is pinned to one problem, so
+  /// a seed change arrives as a new problem/session; the field lets
+  /// consumers comparing artifacts across sessions tell them apart.
+  std::uint64_t seed = 1;
+  std::shared_ptr<const router::RoutingResult> routing;
+  std::shared_ptr<const router::Occupancy> occupancy;
+  /// Segment counts only (shield counts all zero) — the base every
+  /// region-solve congestion map is copied from.
+  std::shared_ptr<const grid::CongestionMap> segments;
+  std::shared_ptr<const std::vector<double>> critical_path_um;  ///< per net
+  std::shared_ptr<const PathIndex> paths;
+  double seconds = 0.0;  ///< compute time when this artifact was built
+};
+
+/// How Phase I budgeting derives per-net Kth bounds.
+enum class BudgetRule {
+  kManhattan,        ///< LSK / Le (Manhattan estimate) — ID+NO reporting
+  kRoutedLength,     ///< LSK / routed critical path — iSINO's post-route rule
+  kManhattanMargin,  ///< margin * LSK / Le — GSINO's Phase I rule
+};
+
+BudgetRule budget_rule(FlowKind kind);
+
+struct BudgetArtifact {
+  BudgetRule rule = BudgetRule::kManhattan;
+  double bound_v = 0.15;
+  double margin = 1.0;  ///< applied under kManhattanMargin only
+  std::shared_ptr<const std::vector<double>> kth;  ///< per net
+  double seconds = 0.0;
+};
+
+/// Phase II output: every (region, dir) SINO solution plus the derived
+/// noise state, as an immutable snapshot. Phase III copies the mutable
+/// parts into a FlowState; flows without refinement view it directly.
+struct RegionSolveArtifact {
+  FlowKind kind = FlowKind::kIdNo;  ///< solve mode (net-order vs SINO)
+  bool annealed = false;            ///< Phase II annealing was enabled
+  std::shared_ptr<const RoutingArtifact> phase1;
+  std::shared_ptr<const BudgetArtifact> budget;
+  std::shared_ptr<const std::vector<RegionSolution>> solutions;
+  std::shared_ptr<const std::vector<double>> net_lsk;
+  std::shared_ptr<const std::vector<double>> net_noise;
+  std::shared_ptr<const grid::CongestionMap> congestion;  ///< with shields
+  std::size_t violating = 0;
+  double seconds = 0.0;
+
+  std::size_t sol_index(std::size_t region, grid::Dir d) const {
+    return sol_index_of(region, d);
+  }
+};
+
+struct RefineStats {
+  int pass1_nets_fixed = 0;
+  int pass1_resolves = 0;
+  int pass1_gave_up = 0;
+  int pass2_shields_removed = 0;
+  int pass2_accepted = 0;
+  int pass2_rejected = 0;
+  int batch_sweeps = 0;          ///< batched pass-2 sweeps executed
+  int batch_regions_resolved = 0;  ///< regions re-solved inside those sweeps
+};
+
+/// Phase III knobs (a refine() option on the session).
+struct RefineOptions {
+  /// Batch independent (net-disjoint) region re-solves between refinement
+  /// sweeps through sino::solve_batch instead of one region at a time.
+  /// Output is deterministic and bit-identical at any thread count, but
+  /// the sweep visits regions in a different order than the serial pass 2,
+  /// so results differ from batch=false (goldens pin batch=false).
+  bool batch_pass2 = false;
+  /// Pool participants for batched re-solves. 0 = auto (RLCR_THREADS env
+  /// var, else hardware concurrency); 1 = exact serial path.
+  int threads = 1;
+};
+
+/// Phase III output: the refined per-region state.
+struct RefineArtifact {
+  std::shared_ptr<const RegionSolveArtifact> base;
+  std::shared_ptr<const std::vector<RegionSolution>> solutions;
+  std::shared_ptr<const std::vector<double>> net_lsk;
+  std::shared_ptr<const std::vector<double>> net_noise;
+  std::shared_ptr<const grid::CongestionMap> congestion;
+  std::size_t violating = 0;
+  std::size_t unfixable = 0;
+  RefineStats stats;
+  double seconds = 0.0;
+};
+
+// -------------------------------------------------------------- FlowResult
+
+/// A thin assembled view over the stage artifacts of one flow. Copyable
+/// and cheap: the heavyweight state lives in the shared artifacts. The
+/// final per-region state aliases the refine artifact's when Phase III
+/// ran, else the solve artifact's.
+struct FlowResult {
+  FlowKind kind = FlowKind::kIdNo;
+  std::string name;
+  double bound_v = 0.15;
+
+  std::shared_ptr<const RoutingArtifact> phase1;
+  std::shared_ptr<const BudgetArtifact> budget;
+  std::shared_ptr<const RegionSolveArtifact> phase2;
+  std::shared_ptr<const RefineArtifact> phase3;  ///< null unless refined
+
+  /// Final (possibly refined) state.
+  std::shared_ptr<const std::vector<RegionSolution>> solutions_ptr;
+  std::shared_ptr<const std::vector<double>> net_lsk_ptr;
+  std::shared_ptr<const std::vector<double>> net_noise_ptr;
+  std::shared_ptr<const grid::CongestionMap> congestion;
+  std::shared_ptr<const router::Occupancy> occupancy;
+
+  const router::RoutingResult& routing() const { return *phase1->routing; }
+  const std::vector<RegionSolution>& solutions() const { return *solutions_ptr; }
+  const std::vector<double>& net_lsk() const { return *net_lsk_ptr; }
+  const std::vector<double>& net_noise() const { return *net_noise_ptr; }
+  const std::vector<double>& kth() const { return *budget->kth; }
+  const std::vector<double>& critical_path_um() const {
+    return *phase1->critical_path_um;
+  }
+
+  double total_wirelength_um = 0.0;
+  double avg_wirelength_um = 0.0;
+  grid::RoutingArea area;
+  double total_shields = 0.0;
+  std::size_t violating = 0;   ///< nets with noise > bound
+  std::size_t unfixable = 0;   ///< GSINO: nets Phase III gave up on
+  FlowTiming timing;
+
+  std::size_t sol_index(std::size_t region, grid::Dir d) const {
+    return sol_index_of(region, d);
+  }
+};
+
+// --------------------------------------------------------------- FlowState
+
+/// Mutable Phase III working state, owned by the session (or by whoever
+/// asked the session for one). The historical free functions
+/// resolve_region / refresh_noise / finalize_metrics over FlowResult are
+/// methods here; LocalRefiner operates on a FlowState.
+struct FlowState {
+  const RoutingProblem* problem = nullptr;
+  FlowKind kind = FlowKind::kGsino;
+  double bound_v = 0.15;
+  std::shared_ptr<const RoutingArtifact> phase1;
+  std::shared_ptr<const BudgetArtifact> budget;
+
+  std::vector<RegionSolution> solutions;  ///< index = region * 2 + dir
+  std::vector<double> net_lsk;            ///< Eq. (1) per net
+  std::vector<double> net_noise;          ///< table lookup of net_lsk (V)
+  std::unique_ptr<grid::CongestionMap> congestion;
+  std::size_t violating = 0;
+  std::size_t unfixable = 0;
+
+  /// Optional progress sink for per-region re-solve events.
+  StageObserver observer;
+
+  const router::Occupancy& occupancy() const { return *phase1->occupancy; }
+  std::size_t sol_index(std::size_t region, grid::Dir d) const {
+    return sol_index_of(region, d);
+  }
+
+  /// Re-solve one region under the instance's current Kth values (greedy,
+  /// optionally annealing when infeasible), updating slots/ki, the
+  /// region's shield count, and every member net's LSK/noise.
+  void resolve_region(std::size_t sol_index, bool allow_anneal);
+
+  /// Batched variant: re-solve several regions through sino::solve_batch.
+  /// Bit-identical to calling resolve_region over `sol_indices` in order,
+  /// at any `threads` value (the solves are independent; LSK/shield
+  /// accumulation replays serially in the given order).
+  void resolve_regions(const std::vector<std::size_t>& sol_indices,
+                       bool allow_anneal, int threads = 1);
+
+  /// Density (utilization / capacity) of the (region, dir) behind
+  /// `sol_index` under the current congestion map.
+  double solution_density(std::size_t sol_index) const;
+
+  /// Recompute noise from LSK for all nets and refresh `violating`.
+  void refresh_noise();
+
+ private:
+  /// The one region-commit sequence both resolve paths share — subtract
+  /// old LSK contributions, install slots/ki, add new contributions and
+  /// member-net noise, refresh the region's shield count — so the serial
+  /// and batched paths cannot drift apart in floating-point op order (the
+  /// bit-identity contract of resolve_regions).
+  void commit_region(std::size_t sol_index, ktable::SlotVec&& slots,
+                     std::vector<double>&& ki);
+};
+
+// -------------------------------------------------------------- FlowSession
+
+/// Stage-execution counters: `*_executed` counts cache misses (actual
+/// compute), `*_requests` counts stage calls. A what-if re-solve at a new
+/// bound shows route_requests advancing while route_executed stands still
+/// — the proof Phase I was skipped.
+struct StageCounters {
+  std::size_t route_requests = 0, route_executed = 0;
+  std::size_t budget_requests = 0, budget_executed = 0;
+  std::size_t solve_requests = 0, solve_executed = 0;
+  std::size_t refine_requests = 0, refine_executed = 0;
+};
+
+/// What-if overrides for a re-entrant run: every field left unset falls
+/// back to the problem's GsinoParams. None of these invalidate the
+/// routing artifact.
+struct Scenario {
+  std::optional<double> bound_v;
+  std::optional<double> budget_margin;
+  std::optional<bool> anneal_phase2;
+  RefineOptions refine;
+};
+
+struct SessionOptions {
+  StageObserver observer;
+};
+
+/// A staged, re-entrant pipeline over one RoutingProblem. Stages can be
+/// driven individually (explicit artifact plumbing) or through run(),
+/// which executes route -> budget -> solve_regions [-> refine] with
+/// caching: any artifact whose inputs are unchanged is reused, so
+/// re-running a flow at a new crosstalk bound skips Phase I entirely, and
+/// flows with identical router profiles share one routing artifact.
+class FlowSession {
+ public:
+  explicit FlowSession(const RoutingProblem& problem,
+                       SessionOptions options = {});
+
+  const RoutingProblem& problem() const { return *problem_; }
+  const StageCounters& counters() const { return counters_; }
+
+  /// Router profile a flow routes with (the paper's fairness rule: only
+  /// GSINO reserves shield area and gets detour headroom).
+  router::IdRouterOptions router_profile(FlowKind kind) const;
+
+  // ---- stages ----------------------------------------------------------
+
+  /// Phase I for a flow's router profile; cached per profile.
+  std::shared_ptr<const RoutingArtifact> route(FlowKind kind);
+  /// Phase I for an explicit profile (the `threads` field is ignored for
+  /// cache identity — it never changes output). `kind` only labels the
+  /// observer events this call emits.
+  std::shared_ptr<const RoutingArtifact> route(
+      const router::IdRouterOptions& options, FlowKind kind);
+
+  /// Budgeting; cached per (rule, bound, margin, routing artifact). The
+  /// margin is normalized to 1.0 for rules that never apply it, so a
+  /// margin-only what-if on ID+NO/iSINO is a cache hit.
+  std::shared_ptr<const BudgetArtifact> budget(
+      FlowKind kind, const std::shared_ptr<const RoutingArtifact>& phase1,
+      double bound_v, double margin);
+
+  /// Phase II; cached per (kind, anneal, routing, budget).
+  std::shared_ptr<const RegionSolveArtifact> solve_regions(
+      FlowKind kind, const std::shared_ptr<const RoutingArtifact>& phase1,
+      const std::shared_ptr<const BudgetArtifact>& budget, bool anneal_phase2);
+
+  /// Phase III; cached per (solve artifact, batch_pass2) — refinement is
+  /// deterministic (RefineOptions::threads never changes output), so a
+  /// repeat request is a cache hit.
+  std::shared_ptr<const RefineArtifact> refine(
+      const std::shared_ptr<const RegionSolveArtifact>& solve,
+      const RefineOptions& options = {});
+
+  // ---- assembled runs --------------------------------------------------
+
+  /// Full pipeline under the problem's params, reusing cached artifacts.
+  FlowResult run(FlowKind kind) { return run(kind, Scenario{}); }
+
+  /// What-if re-solve: same pipeline with scenario overrides. Changing
+  /// bound_v / budget_margin / Phase II/III knobs reuses the routing
+  /// artifact.
+  FlowResult run(FlowKind kind, const Scenario& scenario);
+
+  /// Mutable Phase III working state over the (cached) solve artifact of
+  /// a flow — the entry point for custom refinement.
+  FlowState state(FlowKind kind, const Scenario& scenario = {});
+  /// Same, over an explicit solve artifact.
+  FlowState state(const RegionSolveArtifact& solve) const;
+
+ private:
+  void emit(Stage stage, FlowKind flow, double seconds, bool reused) const;
+  /// route -> budget -> solve_regions under scenario overrides (the shared
+  /// front of run() and state()).
+  std::shared_ptr<const RegionSolveArtifact> solve_for(
+      FlowKind kind, const Scenario& scenario);
+  FlowResult assemble(FlowKind kind,
+                      std::shared_ptr<const RegionSolveArtifact> solve,
+                      std::shared_ptr<const RefineArtifact> refined) const;
+
+  const RoutingProblem* problem_;
+  SessionOptions options_;
+  StageCounters counters_;
+
+  struct RouteEntry {
+    router::IdRouterOptions options;
+    std::shared_ptr<const RoutingArtifact> artifact;
+  };
+  struct BudgetEntry {
+    BudgetRule rule;
+    double bound_v, margin;
+    /// Cache identity for the kRoutedLength rule (null otherwise). Held
+    /// as a shared_ptr so the artifact stays alive while the entry keys
+    /// on it — a raw pointer could be reused by a new artifact at the
+    /// same address and produce a stale false hit.
+    std::shared_ptr<const RoutingArtifact> phase1;
+    std::shared_ptr<const BudgetArtifact> artifact;
+  };
+  struct SolveEntry {
+    FlowKind kind;
+    bool anneal;
+    const RoutingArtifact* phase1;
+    const BudgetArtifact* budget;
+    std::shared_ptr<const RegionSolveArtifact> artifact;
+  };
+  struct RefineEntry {
+    /// Kept alive by artifact->base, so pointer identity is stable.
+    const RegionSolveArtifact* solve;
+    bool batch_pass2;
+    std::shared_ptr<const RefineArtifact> artifact;
+  };
+  // Caches are append-only for the session's lifetime: every distinct
+  // (profile) / (rule, bound, margin) / (kind, anneal, inputs) pins its
+  // artifact, so a sweep over N bounds holds N Phase II snapshots. Fine
+  // at experiment scale; a long-lived what-if service wants an eviction
+  // policy (ROADMAP open item).
+  std::vector<RouteEntry> route_cache_;
+  std::vector<BudgetEntry> budget_cache_;
+  std::vector<SolveEntry> solve_cache_;
+  std::vector<RefineEntry> refine_cache_;
+};
+
+}  // namespace rlcr::gsino

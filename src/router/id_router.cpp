@@ -151,35 +151,43 @@ struct RegionStats {
   }
 };
 
-/// L-shaped walk between two region points. The leg order is chosen by a
-/// deterministic hash of the endpoints so that pre-routed nets spread over
-/// both elbow choices instead of piling onto shared x-first corridors.
-void emit_l_shape(geom::Point p, geom::Point q, std::vector<GridEdge>& out) {
-  const std::uint64_t h = std::hash<geom::Point>{}(p) * 31 + std::hash<geom::Point>{}(q);
+/// Monotone walk between two region points, L- or Z-shaped. The
+/// leading-leg axis is chosen by a deterministic hash of the endpoints so
+/// that pre-routed nets spread over both elbow choices instead of piling
+/// onto shared x-first corridors. An L walks the leading leg to the end;
+/// a Z breaks it at the midpoint, so a huge net's demand spreads over two
+/// parallel corridors. Both are monotone — identical wire length.
+void emit_preroute_shape(geom::Point p, geom::Point q, PrerouteShape shape,
+                         std::vector<GridEdge>& out) {
+  const std::uint64_t h =
+      std::hash<geom::Point>{}(p) * 31 + std::hash<geom::Point>{}(q);
   const bool x_first = (h & 1) == 0;
+  const bool z = shape == PrerouteShape::kZ;
   geom::Point cur = p;
-  auto walk_x = [&]() {
-    const std::int32_t step_x = (q.x > cur.x) ? 1 : -1;
-    while (cur.x != q.x) {
+  auto walk_x_to = [&](std::int32_t tx) {
+    const std::int32_t step_x = (tx > cur.x) ? 1 : -1;
+    while (cur.x != tx) {
       const geom::Point next{cur.x + step_x, cur.y};
       out.push_back(make_edge(cur, next));
       cur = next;
     }
   };
-  auto walk_y = [&]() {
-    const std::int32_t step_y = (q.y > cur.y) ? 1 : -1;
-    while (cur.y != q.y) {
+  auto walk_y_to = [&](std::int32_t ty) {
+    const std::int32_t step_y = (ty > cur.y) ? 1 : -1;
+    while (cur.y != ty) {
       const geom::Point next{cur.x, cur.y + step_y};
       out.push_back(make_edge(cur, next));
       cur = next;
     }
   };
   if (x_first) {
-    walk_x();
-    walk_y();
+    walk_x_to(z ? (p.x + q.x) / 2 : q.x);
+    walk_y_to(q.y);
+    walk_x_to(q.x);
   } else {
-    walk_y();
-    walk_x();
+    walk_y_to(z ? (p.y + q.y) / 2 : q.y);
+    walk_x_to(q.x);
+    walk_y_to(q.y);
   }
 }
 
@@ -330,8 +338,9 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
     ++sc.edge_epoch;
     for (const auto& [a, b] : tree.edges) {
       sc.l_shape.clear();
-      emit_l_shape(tree.nodes[static_cast<std::size_t>(a)],
-                   tree.nodes[static_cast<std::size_t>(b)], sc.l_shape);
+      emit_preroute_shape(tree.nodes[static_cast<std::size_t>(a)],
+                          tree.nodes[static_cast<std::size_t>(b)],
+                          options_.preroute_shape, sc.l_shape);
       for (const GridEdge& e : sc.l_shape) {
         const std::size_t slot = edge_slot(e);
         if (sc.edge_stamp[slot] != sc.edge_epoch) {

@@ -76,6 +76,13 @@ struct IdWeights {
   double gamma = 50.0; ///< overflow coefficient (paper's value)
 };
 
+/// Segment shape used when pre-routing huge nets on their RSMT topology.
+enum class PrerouteShape {
+  kL,  ///< single-elbow L (historical default; elbow choice hashed)
+  kZ,  ///< two-elbow Z through the midpoint — splits each leg's demand
+       ///< across two parallel corridors instead of one
+};
+
 struct IdRouterOptions {
   IdWeights weights;
   /// Include the Eq. (3) shield estimate in HU. True for GSINO Phase I;
@@ -84,6 +91,10 @@ struct IdRouterOptions {
   /// Pin bounding boxes with more regions than this are pre-routed on
   /// their RSMT instead of entering the deletion pool.
   std::size_t huge_net_bbox_threshold = 600;
+  /// Shape of huge-net pre-route segments. Both shapes are monotone
+  /// (identical wire length); kL keeps every historical golden, kZ has
+  /// its own golden pinned at introduction.
+  PrerouteShape preroute_shape = PrerouteShape::kL;
   /// Detour guard: a deletion is refused when it would leave some sink's
   /// shortest path from the source longer than
   ///   max_detour_factor * manhattan(source, sink) + detour_slack.
@@ -101,6 +112,22 @@ struct IdRouterOptions {
   /// inherently sequential — each pop re-weighs against the stats every
   /// earlier pop updated).
   int threads = 0;
+
+  /// True when `other` routes identically: every field that can change
+  /// the routing output is compared; `threads` is excluded (output is
+  /// thread-count-invariant). This is the cache identity of a session's
+  /// RoutingArtifact — when adding an output-affecting option, extend
+  /// this comparison in the same change.
+  bool same_routing_profile(const IdRouterOptions& other) const {
+    return weights.alpha == other.weights.alpha &&
+           weights.beta == other.weights.beta &&
+           weights.gamma == other.weights.gamma &&
+           reserve_shields == other.reserve_shields &&
+           huge_net_bbox_threshold == other.huge_net_bbox_threshold &&
+           max_detour_factor == other.max_detour_factor &&
+           detour_slack == other.detour_slack &&
+           preroute_shape == other.preroute_shape;
+  }
 };
 
 class IdRouter {

@@ -130,7 +130,7 @@ TEST(Flow, IdNoLeavesViolationsButOrdersNets) {
   EXPECT_EQ(fr.name, "ID+NO");
   // All region solutions are pure permutations (no shields).
   EXPECT_DOUBLE_EQ(fr.total_shields, 0.0);
-  EXPECT_EQ(fr.net_lsk.size(), p.net_count());
+  EXPECT_EQ(fr.net_lsk().size(), p.net_count());
 }
 
 TEST(Flow, IsinoEliminatesAllViolations) {
@@ -149,7 +149,7 @@ TEST(Flow, GsinoEliminatesAllViolations) {
 TEST(Flow, SolutionsSatisfySinoConstraints) {
   const RoutingProblem p = tiny_problem(0.4);
   const FlowResult fr = FlowRunner(p).run(FlowKind::kIsino);
-  for (const RegionSolution& sol : fr.solutions) {
+  for (const RegionSolution& sol : fr.solutions()) {
     if (sol.empty()) continue;
     const sino::SinoEvaluator eval(sol.instance, p.keff());
     const sino::SinoCheck c = eval.check(sol.slots);
@@ -164,13 +164,13 @@ TEST(Flow, LskAccountingIsConsistent) {
   const RoutingProblem p = tiny_problem(0.4);
   const FlowResult fr = FlowRunner(p).run(FlowKind::kGsino);
   std::vector<double> recomputed(p.net_count(), 0.0);
-  for (const RegionSolution& sol : fr.solutions) {
+  for (const RegionSolution& sol : fr.solutions()) {
     for (std::size_t i = 0; i < sol.net_index.size(); ++i) {
       recomputed[sol.net_index[i]] += sol.path_len_mm[i] * sol.ki[i];
     }
   }
   for (std::size_t n = 0; n < p.net_count(); ++n) {
-    EXPECT_NEAR(recomputed[n], fr.net_lsk[n], 1e-9) << "net " << n;
+    EXPECT_NEAR(recomputed[n], fr.net_lsk()[n], 1e-9) << "net " << n;
   }
 }
 

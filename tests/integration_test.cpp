@@ -98,7 +98,7 @@ TEST(Integration, EveryRouteIsConnectedInEveryFlow) {
     for (std::size_t n = 0; n < p.net_count(); ++n) {
       const auto& pins = p.router_nets()[n].pins;
       if (pins.size() < 2) continue;
-      EXPECT_TRUE(fr.routing.routes[n].connects(pins))
+      EXPECT_TRUE(fr.routing().routes[n].connects(pins))
           << flow_name(kind) << " net " << n;
     }
   }
@@ -109,7 +109,7 @@ TEST(Integration, NoiseIsTableLookupOfLsk) {
   const RoutingProblem p = pipe.problem();
   const FlowResult fr = FlowRunner(p).run(FlowKind::kGsino);
   for (std::size_t n = 0; n < p.net_count(); n += 7) {
-    EXPECT_NEAR(fr.net_noise[n], p.lsk_table().voltage(fr.net_lsk[n]), 1e-12);
+    EXPECT_NEAR(fr.net_noise()[n], p.lsk_table().voltage(fr.net_lsk()[n]), 1e-12);
   }
 }
 
@@ -140,20 +140,20 @@ TEST(IntegrationGolden, ThreeFlowsPinnedAtRateHalf) {
   EXPECT_EQ(idno.violating, 86u);
   EXPECT_DOUBLE_EQ(idno.total_shields, 0.0);
   EXPECT_NEAR(idno.area.area_um2(), 925295.13888888876, 1e-6);
-  EXPECT_EQ(router::route_hash(idno.routing), 13497901764394341437ULL);
+  EXPECT_EQ(router::route_hash(idno.routing()), 13497901764394341437ULL);
 
   const FlowResult isino = flows.run(FlowKind::kIsino);
   EXPECT_DOUBLE_EQ(isino.total_wirelength_um, 132650.0);
   EXPECT_EQ(isino.violating, 0u);
   EXPECT_DOUBLE_EQ(isino.total_shields, 1002.0);
-  EXPECT_EQ(router::route_hash(isino.routing), 13497901764394341437ULL);
+  EXPECT_EQ(router::route_hash(isino.routing()), 13497901764394341437ULL);
 
   const FlowResult gsino_r = flows.run(FlowKind::kGsino);
   EXPECT_DOUBLE_EQ(gsino_r.total_wirelength_um, 134150.0);
   EXPECT_EQ(gsino_r.violating, 0u);
   EXPECT_DOUBLE_EQ(gsino_r.total_shields, 931.0);
   EXPECT_NEAR(gsino_r.area.area_um2(), 1413194.4444444443, 1e-6);
-  EXPECT_EQ(router::route_hash(gsino_r.routing), 12686260652761461465ULL);
+  EXPECT_EQ(router::route_hash(gsino_r.routing()), 12686260652761461465ULL);
 }
 
 TEST(Integration, SeedChangesOutcome) {
@@ -171,7 +171,7 @@ TEST_P(RateSweep, GsinoAlwaysMeetsTheBound) {
   const FlowResult fr = FlowRunner(p).run(FlowKind::kGsino);
   EXPECT_EQ(fr.violating, 0u) << "rate " << GetParam();
   for (std::size_t n = 0; n < p.net_count(); ++n) {
-    EXPECT_LE(fr.net_noise[n], fr.bound_v + 1e-9);
+    EXPECT_LE(fr.net_noise()[n], fr.bound_v + 1e-9);
   }
 }
 

@@ -1,9 +1,11 @@
-// Focused tests of the Phase III local refiner (the paper's Fig. 2).
+// Focused tests of the Phase III local refiner (the paper's Fig. 2),
+// driven through the staged session API: the refiner operates on the
+// mutable FlowState a FlowSession builds over a Phase II solve artifact.
 #include <gtest/gtest.h>
 
 #include "core/experiment.h"
-#include "core/flow.h"
 #include "core/refine.h"
+#include "core/session.h"
 
 namespace rlcr::gsino {
 namespace {
@@ -27,28 +29,28 @@ struct Fixture {
     params.sensitivity_rate = 0.5;
   }
 
-  FlowResult phase12_only() const {
-    GsinoParams p = params;
-    p.lr_max_outer_pass1 = 0;
-    p.lr_max_outer_pass2 = 0;
-    const RoutingProblem problem = make_problem(design, spec, p);
-    return FlowRunner(problem).run(FlowKind::kGsino);
-  }
+  RoutingProblem problem() const { return make_problem(design, spec, params); }
 };
+
+/// GSINO through Phase II only (the refiner's input state).
+FlowState phase12_state(FlowSession& session) {
+  return session.state(FlowKind::kGsino);
+}
 
 TEST(Refiner, Pass1EliminatesViolations) {
   const Fixture fx;
-  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
-  FlowResult fr = fx.phase12_only();
-  const std::size_t before = fr.violating;
+  const RoutingProblem problem = fx.problem();
+  FlowSession session(problem);
+  FlowState fs = phase12_state(session);
+  const std::size_t before = fs.violating;
 
   LocalRefiner refiner(problem);
   RefineStats stats;
-  refiner.eliminate_violations(fr, stats);
-  refresh_noise(fr, problem);
+  refiner.eliminate_violations(fs, stats);
+  fs.refresh_noise();
 
-  EXPECT_LE(fr.violating, before);
-  EXPECT_EQ(fr.violating, fr.unfixable);  // anything left was given up on
+  EXPECT_LE(fs.violating, before);
+  EXPECT_EQ(fs.violating, fs.unfixable);  // anything left was given up on
   if (before > 0) {
     EXPECT_GT(stats.pass1_resolves, 0);
   }
@@ -56,59 +58,116 @@ TEST(Refiner, Pass1EliminatesViolations) {
 
 TEST(Refiner, Pass2NeverCreatesViolations) {
   const Fixture fx;
-  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
-  FlowResult fr = fx.phase12_only();
+  const RoutingProblem problem = fx.problem();
+  FlowSession session(problem);
+  FlowState fs = phase12_state(session);
   LocalRefiner refiner(problem);
   RefineStats stats;
-  refiner.eliminate_violations(fr, stats);
-  refresh_noise(fr, problem);
-  const std::size_t viol_before = fr.violating;
-  const double shields_before = fr.congestion->total_shields();
+  refiner.eliminate_violations(fs, stats);
+  fs.refresh_noise();
+  const std::size_t viol_before = fs.violating;
+  const double shields_before = fs.congestion->total_shields();
 
-  refiner.reduce_congestion(fr, stats);
-  refresh_noise(fr, problem);
+  refiner.reduce_congestion(fs, stats);
+  fs.refresh_noise();
 
-  EXPECT_LE(fr.violating, viol_before);
+  EXPECT_LE(fs.violating, viol_before);
   // Pass 2 only ever removes shields.
-  EXPECT_LE(fr.congestion->total_shields(), shields_before);
+  EXPECT_LE(fs.congestion->total_shields(), shields_before);
   EXPECT_EQ(stats.pass2_shields_removed >= 0, true);
 }
 
 TEST(Refiner, StatsAreInternallyConsistent) {
   const Fixture fx;
-  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
-  FlowResult fr = fx.phase12_only();
-  const RefineStats stats = LocalRefiner(problem).refine(fr);
+  const RoutingProblem problem = fx.problem();
+  FlowSession session(problem);
+  FlowState fs = phase12_state(session);
+  const RefineStats stats = LocalRefiner(problem).refine(fs);
   EXPECT_GE(stats.pass1_nets_fixed, 0);
   EXPECT_GE(stats.pass1_resolves, stats.pass1_nets_fixed);
-  EXPECT_EQ(fr.unfixable, static_cast<std::size_t>(stats.pass1_gave_up));
+  EXPECT_EQ(fs.unfixable, static_cast<std::size_t>(stats.pass1_gave_up));
   EXPECT_GE(stats.pass2_accepted + stats.pass2_rejected, stats.pass2_accepted);
 }
 
 TEST(Refiner, RefineIsIdempotentOnCleanState) {
-  // Refining an already-clean flow changes nothing structural: no
+  // Refining an already-refined state changes nothing structural: no
   // violations appear and shields only go down (pass 2 may still harvest).
   const Fixture fx;
-  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
-  FlowResult fr = FlowRunner(problem).run(FlowKind::kGsino);
-  ASSERT_EQ(fr.violating, 0u);
-  const double shields1 = fr.congestion->total_shields();
-  LocalRefiner(problem).refine(fr);
-  refresh_noise(fr, problem);
-  EXPECT_EQ(fr.violating, 0u);
-  EXPECT_LE(fr.congestion->total_shields(), shields1);
+  const RoutingProblem problem = fx.problem();
+  FlowSession session(problem);
+  FlowState fs = phase12_state(session);
+  const LocalRefiner refiner(problem);
+  refiner.refine(fs);
+  ASSERT_EQ(fs.violating, 0u);
+  const double shields1 = fs.congestion->total_shields();
+  refiner.refine(fs);
+  fs.refresh_noise();
+  EXPECT_EQ(fs.violating, 0u);
+  EXPECT_LE(fs.congestion->total_shields(), shields1);
 }
 
 TEST(Refiner, SolutionsStayFeasibleAfterRefinement) {
   const Fixture fx;
-  const RoutingProblem problem = make_problem(fx.design, fx.spec, fx.params);
-  FlowResult fr = FlowRunner(problem).run(FlowKind::kGsino);
-  for (const RegionSolution& sol : fr.solutions) {
+  const RoutingProblem problem = fx.problem();
+  FlowSession session(problem);
+  const FlowResult fr = session.run(FlowKind::kGsino);
+  for (const RegionSolution& sol : fr.solutions()) {
     if (sol.empty()) continue;
     const sino::SinoEvaluator eval(sol.instance, problem.keff());
     const sino::SinoCheck c = eval.check(sol.slots);
     EXPECT_TRUE(c.placed_all);
     EXPECT_EQ(c.capacitive_violations, 0);
+  }
+}
+
+// ------------------------------------------------- batched pass 2 (Phase
+// III region re-solves through sino::solve_batch)
+
+TEST(Refiner, BatchedPass2MeetsTheBound) {
+  const Fixture fx;
+  const RoutingProblem problem = fx.problem();
+  FlowSession session(problem);
+  FlowState fs = phase12_state(session);
+  RefineOptions opt;
+  opt.batch_pass2 = true;
+  const RefineStats stats = LocalRefiner(problem).refine(fs, opt);
+  EXPECT_EQ(fs.violating, 0u);
+  if (stats.pass2_accepted + stats.pass2_rejected > 0) {
+    EXPECT_GT(stats.batch_sweeps, 0);
+    EXPECT_GE(stats.batch_regions_resolved,
+              stats.pass2_accepted + stats.pass2_rejected);
+  }
+}
+
+TEST(Refiner, BatchedPass2BitIdenticalAcrossThreadCounts) {
+  // The determinism oracle of the batched sweep: threads=1 is the exact
+  // serial path, so any thread count must reproduce it bit for bit.
+  const Fixture fx;
+  const RoutingProblem problem = fx.problem();
+  FlowSession session(problem);
+  FlowState a = phase12_state(session);
+  FlowState b = phase12_state(session);
+  RefineOptions opt1;
+  opt1.batch_pass2 = true;
+  opt1.threads = 1;
+  RefineOptions opt8 = opt1;
+  opt8.threads = 8;
+  const RefineStats sa = LocalRefiner(problem).refine(a, opt1);
+  const RefineStats sb = LocalRefiner(problem).refine(b, opt8);
+
+  EXPECT_EQ(sa.pass2_accepted, sb.pass2_accepted);
+  EXPECT_EQ(sa.pass2_rejected, sb.pass2_rejected);
+  EXPECT_EQ(sa.pass2_shields_removed, sb.pass2_shields_removed);
+  EXPECT_EQ(a.violating, b.violating);
+  EXPECT_DOUBLE_EQ(a.congestion->total_shields(),
+                   b.congestion->total_shields());
+  ASSERT_EQ(a.net_lsk.size(), b.net_lsk.size());
+  for (std::size_t n = 0; n < a.net_lsk.size(); ++n) {
+    EXPECT_EQ(a.net_lsk[n], b.net_lsk[n]) << "net " << n;
+  }
+  ASSERT_EQ(a.solutions.size(), b.solutions.size());
+  for (std::size_t si = 0; si < a.solutions.size(); ++si) {
+    EXPECT_EQ(a.solutions[si].slots, b.solutions[si].slots) << "sol " << si;
   }
 }
 

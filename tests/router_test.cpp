@@ -375,6 +375,47 @@ TEST(IdRouterGolden, PreRoutedHugeNet) {
   EXPECT_EQ(route_hash(res), 13553872594035981539ULL);
 }
 
+// Z-shape pre-route option: same monotone wire length as the default L
+// shape, different corridor split. Golden pinned at introduction.
+TEST(IdRouterGolden, PreRoutedHugeNetZShape) {
+  const grid::RegionGrid g = make_grid(24, 24);
+  const sino::NssModel nss;
+  IdRouterOptions opt;
+  opt.huge_net_bbox_threshold = 20;
+  opt.preroute_shape = PrerouteShape::kZ;
+  std::vector<RouterNet> nets(1);
+  nets[0].id = 0;
+  nets[0].pins = {{0, 0}, {20, 15}, {3, 18}};
+  const RoutingResult res = IdRouter(g, nss, opt).route(nets);
+  EXPECT_EQ(res.stats.prerouted_nets, 1u);
+  EXPECT_TRUE(res.routes[0].connects(nets[0].pins));
+  // Monotone like the L shape: identical total wire length...
+  EXPECT_DOUBLE_EQ(res.total_wirelength_um, 850.0);
+  // ...but a different corridor split (pinned Z golden).
+  EXPECT_EQ(route_hash(res), 838763700482254819ULL);
+}
+
+TEST(IdRouter, ZShapeSplitsCorridorDemand) {
+  // A single huge two-pin net: the L shape crosses one elbow, the Z two.
+  const grid::RegionGrid g = make_grid(24, 24);
+  const sino::NssModel nss;
+  IdRouterOptions opt;
+  opt.huge_net_bbox_threshold = 10;
+  std::vector<RouterNet> nets(1);
+  nets[0].id = 0;
+  nets[0].pins = {{2, 2}, {18, 14}};
+
+  const RoutingResult l_res = IdRouter(g, nss, opt).route(nets);
+  opt.preroute_shape = PrerouteShape::kZ;
+  const RoutingResult z_res = IdRouter(g, nss, opt).route(nets);
+
+  EXPECT_TRUE(l_res.routes[0].connects(nets[0].pins));
+  EXPECT_TRUE(z_res.routes[0].connects(nets[0].pins));
+  EXPECT_DOUBLE_EQ(l_res.total_wirelength_um, z_res.total_wirelength_um);
+  EXPECT_EQ(l_res.routes[0].edges.size(), z_res.routes[0].edges.size());
+  EXPECT_NE(route_hash(l_res), route_hash(z_res));
+}
+
 // Dijkstra mode reproduces the seed maze router bit for bit.
 TEST(MazeGolden, DijkstraModeMatchesSeed) {
   MazeOptions opt;

@@ -1,0 +1,136 @@
+// Persistent artifact-store benchmark at the ISPD98 size class (128x128
+// regions, 10k clustered nets): what a fresh process pays to warm-start
+// Phase I from disk versus recomputing it, and what the store costs to
+// populate.
+//
+//   BM_Phase1Compute      — route from scratch (the cold cost a warm start
+//                           avoids; Section 5's dominant runtime)
+//   BM_Phase1ColdSave     — serialize + atomically publish the routing
+//                           artifact into a store directory
+//   BM_Phase1WarmLoad     — read + validate (checksum, golden route hash)
+//                           + re-derive views through the store loader:
+//                           the cross-process warm-start path
+//   BM_Phase1InMemoryReuse — the in-session LRU cache hit, for scale
+//
+// Run with
+//
+//   bench_artifact_store --benchmark_out=BENCH_artifact_store.json \
+//                        --benchmark_out_format=json
+//
+// CI merges the result into BENCH_router.json (one machine-readable perf
+// trajectory per run), so the warm-start speedup is tracked across PRs.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/session.h"
+#include "netlist/synthetic.h"
+#include "store/artifact_store.h"
+#include "store/serial.h"
+
+using namespace rlcr;
+using namespace rlcr::gsino;
+
+namespace {
+
+/// The ISPD98-size tier bench_router_scale's BM_IdRouter128 established:
+/// 128x128 regions, 10k clustered nets. Built once and shared — the
+/// routing artifact itself takes seconds to compute.
+struct Fixture {
+  netlist::SyntheticSpec spec;
+  netlist::Netlist design;
+  GsinoParams params;
+  std::unique_ptr<RoutingProblem> problem;
+  std::shared_ptr<const RoutingArtifact> artifact;
+
+  Fixture() {
+    spec = netlist::tiny_spec(10000, 97);
+    spec.name = "store-10k";
+    spec.grid_cols = 128;
+    spec.grid_rows = 128;
+    spec.chip_w_um = 6400.0;
+    spec.chip_h_um = 6400.0;
+    spec.h_capacity = 16;
+    spec.v_capacity = 16;
+    spec.local_sigma_regions = 2.6;
+    design = netlist::generate(spec);
+    params.sensitivity_rate = 0.3;
+    problem = std::make_unique<RoutingProblem>(
+        make_problem(design, spec, params));
+    FlowSession session(*problem);
+    artifact = session.route(FlowKind::kGsino);
+  }
+
+  static const Fixture& get() {
+    static const Fixture fx;
+    return fx;
+  }
+};
+
+std::filesystem::path bench_store_dir() {
+  return std::filesystem::temp_directory_path() / "rlcr_bench_artifact_store";
+}
+
+void BM_Phase1Compute(benchmark::State& state) {
+  const Fixture& fx = Fixture::get();
+  for (auto _ : state) {
+    FlowSession session(*fx.problem);  // fresh: no cache, no store
+    const auto art = session.route(FlowKind::kGsino);
+    benchmark::DoNotOptimize(art->routing->total_wirelength_um);
+  }
+  state.counters["nets"] = static_cast<double>(fx.problem->net_count());
+}
+BENCHMARK(BM_Phase1Compute)->Unit(benchmark::kMillisecond);
+
+void BM_Phase1ColdSave(benchmark::State& state) {
+  const Fixture& fx = Fixture::get();
+  std::filesystem::remove_all(bench_store_dir());
+  store::ArtifactStore store(bench_store_dir());
+  const std::uint64_t key = store::routing_key(*fx.problem, fx.artifact->options);
+  store.put_routing(key, *fx.artifact);
+  const std::uintmax_t record_bytes = store.bytes_on_disk();
+  for (auto _ : state) {
+    state.PauseTiming();  // measure only the publish itself
+    std::filesystem::remove_all(bench_store_dir());
+    std::filesystem::create_directories(bench_store_dir());
+    state.ResumeTiming();
+    store.put_routing(key, *fx.artifact);
+  }
+  state.counters["record_bytes"] = static_cast<double>(record_bytes);
+}
+BENCHMARK(BM_Phase1ColdSave)->Unit(benchmark::kMillisecond);
+
+void BM_Phase1WarmLoad(benchmark::State& state) {
+  const Fixture& fx = Fixture::get();
+  std::filesystem::remove_all(bench_store_dir());
+  store::ArtifactStore store(bench_store_dir());
+  const std::uint64_t key = store::routing_key(*fx.problem, fx.artifact->options);
+  store.put_routing(key, *fx.artifact);
+  double wl = 0.0;
+  for (auto _ : state) {
+    const auto art = store.get_routing(key, *fx.problem);
+    wl = art->routing->total_wirelength_um;
+    benchmark::DoNotOptimize(art);
+  }
+  state.counters["wirelength_um"] = wl;
+  state.counters["loads"] = static_cast<double>(store.stats().hits);
+}
+BENCHMARK(BM_Phase1WarmLoad)->Unit(benchmark::kMillisecond);
+
+void BM_Phase1InMemoryReuse(benchmark::State& state) {
+  const Fixture& fx = Fixture::get();
+  FlowSession session(*fx.problem);
+  (void)session.route(FlowKind::kGsino);  // populate
+  for (auto _ : state) {
+    const auto art = session.route(FlowKind::kGsino);
+    benchmark::DoNotOptimize(art);
+  }
+  state.counters["routes_executed"] =
+      static_cast<double>(session.counters().route_executed);
+}
+BENCHMARK(BM_Phase1InMemoryReuse)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,6 +12,12 @@
 //   # bound re-solves Phase II/III off the cached routing artifact
 //   $ ./route_cli --circuit ibm01 --flow gsino --sweep-bound 0.12,0.15,0.20
 //
+//   # persistent artifact store: the first run routes and publishes, a
+//   # second identical invocation loads Phase I from disk (the printed
+//   # stage counters show route 0 executed / N loaded)
+//   $ ./route_cli --circuit ibm01 --flow gsino --store-dir /tmp/rlcr-store
+//   $ ./route_cli --circuit ibm01 --flow gsino --store-dir /tmp/rlcr-store
+//
 // Prints the flow summary (violations, wire length, shields, routing area)
 // and optionally dumps per-net noise to CSV (--noise-csv out.csv).
 #include <cstdio>
@@ -23,6 +29,7 @@
 #include "core/session.h"
 #include "netlist/ispd98.h"
 #include "netlist/placement.h"
+#include "store/artifact_store.h"
 #include "util/csv.h"
 
 using namespace rlcr;
@@ -35,6 +42,8 @@ struct CliOptions {
   std::string net_path;
   std::string are_path;
   std::string noise_csv;
+  std::string store_dir;
+  std::uintmax_t store_max_bytes = std::uintmax_t{256} << 20;
   std::string flow = "gsino";  // idno | isino | gsino | all
   std::vector<double> sweep_bounds;  // --sweep-bound list
   double scale = 0.25;
@@ -64,6 +73,10 @@ struct CliOptions {
       "  --seed N                 master seed (default 1)\n"
       "  --threads N              pool workers for routing + Phase II\n"
       "                           (default auto; output identical at any N)\n"
+      "  --store-dir DIR          persistent artifact store: consult before\n"
+      "                           routing/budgeting, publish after — a second\n"
+      "                           invocation on the same circuit skips Phase I\n"
+      "  --store-max-bytes N      store LRU size budget (default 256 MiB)\n"
       "  --noise-csv FILE         dump per-net LSK/noise\n",
       argv0);
   std::exit(2);
@@ -137,6 +150,10 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--threads")) {
       opt.threads = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--store-dir")) {
+      opt.store_dir = next();
+    } else if (!std::strcmp(argv[i], "--store-max-bytes")) {
+      opt.store_max_bytes = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--noise-csv")) {
       opt.noise_csv = next();
     } else {
@@ -196,7 +213,19 @@ int main(int argc, char** argv) {
               gspec.v_capacity, opt.rate * 100.0);
 
   const RoutingProblem problem(design, gspec, params);
-  FlowSession session(problem);
+  store::StorePtr artifact_store;
+  if (!opt.store_dir.empty()) {
+    try {
+      artifact_store = std::make_shared<store::ArtifactStore>(
+          opt.store_dir, store::StoreOptions{opt.store_max_bytes});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  SessionOptions sopt;
+  sopt.store = artifact_store;
+  FlowSession session(problem, std::move(sopt));
 
   // ---- run the requested flow(s): one session, so flows with matching
   // router profiles (ID+NO and iSINO) share a Phase I artifact, and a
@@ -234,6 +263,27 @@ int main(int argc, char** argv) {
       "(executed/requested — reuse is the gap)\n",
       c.route_executed, c.route_requests, c.budget_executed,
       c.budget_requests, c.solve_executed, c.solve_requests);
+  if (artifact_store != nullptr) {
+    const store::StoreStats s = artifact_store->stats();
+    std::printf(
+        "artifact store: %zu hits / %zu misses, %zu stored, %zu evicted, "
+        "%.1f MiB on disk (%s)\n"
+        "  warm start: route loaded %zu (executed %zu), budget loaded %zu "
+        "(executed %zu)%s\n",
+        s.hits, s.misses, s.stores, s.evictions,
+        static_cast<double>(artifact_store->bytes_on_disk()) / (1024.0 * 1024.0),
+        artifact_store->dir().c_str(), c.route_loaded, c.route_executed,
+        c.budget_loaded, c.budget_executed,
+        c.route_executed == 0 && c.route_loaded > 0
+            ? " — Phase I skipped entirely"
+            : "");
+    if (s.put_failures > 0) {
+      std::fprintf(stderr,
+                   "warning: %zu artifact publish(es) failed — is %s "
+                   "writable?\n",
+                   s.put_failures, artifact_store->dir().c_str());
+    }
+  }
 
   if (!opt.noise_csv.empty() && last.phase1 != nullptr) {
     util::CsvWriter csv(opt.noise_csv);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/session.h"
+#include "store/artifact_store.h"
 #include "util/stopwatch.h"
 
 namespace rlcr::gsino {
@@ -20,7 +21,8 @@ double scale_from_env(double fallback) {
 CircuitRun ExperimentRunner::run_one(const netlist::SyntheticSpec& spec,
                                      double rate, const GsinoParams& params,
                                      bool run_isino, bool run_gsino,
-                                     StageObserver observer) {
+                                     StageObserver observer,
+                                     std::shared_ptr<store::ArtifactStore> store) {
   CircuitRun run;
   run.circuit = spec.name;
   run.rate = rate;
@@ -31,8 +33,12 @@ CircuitRun ExperimentRunner::run_one(const netlist::SyntheticSpec& spec,
   const RoutingProblem problem = make_problem(design, spec, p);
   run.total_nets = problem.net_count();
 
-  // One session per cell: ID+NO and iSINO share the Phase I artifact.
-  FlowSession session(problem, SessionOptions{std::move(observer)});
+  // One session per cell: ID+NO and iSINO share the Phase I artifact; a
+  // store additionally shares Phase I across cells, runs, and processes.
+  SessionOptions sopt;
+  sopt.observer = std::move(observer);
+  sopt.store = std::move(store);
+  FlowSession session(problem, std::move(sopt));
   run.idno = summarize(session.run(FlowKind::kIdNo), problem);
   if (run_isino) {
     run.isino = summarize(session.run(FlowKind::kIsino), problem);
@@ -54,7 +60,8 @@ std::vector<CircuitRun> ExperimentRunner::run() const {
     for (double rate : options_.rates) {
       util::Stopwatch watch;
       CircuitRun run = run_one(spec, rate, options_.params, options_.run_isino,
-                               options_.run_gsino, options_.observer);
+                               options_.run_gsino, options_.observer,
+                               options_.store);
       // Deprecated adapter: the legacy callback fires once per cell, as it
       // always did; everything finer-grained now arrives via `observer`.
       if (options_.progress) {

@@ -10,11 +10,16 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/metrics.h"
 #include "netlist/synthetic.h"
+
+namespace rlcr::store {
+class ArtifactStore;
+}  // namespace rlcr::store
 
 namespace rlcr::gsino {
 
@@ -33,6 +38,11 @@ struct ExperimentOptions {
   /// StageEvent per stage (route/budget/solve_regions/refine) with compute
   /// seconds and the cache-reuse flag.
   StageObserver observer;
+  /// Optional persistent artifact store, forwarded into every cell's
+  /// FlowSession: a re-run of the suite (same circuits, rates, params,
+  /// seed) warm-starts Phase I and budgeting from the records a previous
+  /// run — possibly in another process — published.
+  std::shared_ptr<store::ArtifactStore> store;
   /// DEPRECATED legacy progress callback (circuit, rate, flow, seconds).
   /// Kept for source compatibility only: ExperimentRunner::run still fires
   /// it once per cell with flow = "all-flows" (as it always did), but it
@@ -64,7 +74,8 @@ class ExperimentRunner {
   /// events.
   static CircuitRun run_one(const netlist::SyntheticSpec& spec, double rate,
                             const GsinoParams& params, bool run_isino = true,
-                            bool run_gsino = true, StageObserver observer = {});
+                            bool run_gsino = true, StageObserver observer = {},
+                            std::shared_ptr<store::ArtifactStore> store = {});
 
  private:
   ExperimentOptions options_;

@@ -2,7 +2,49 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
+
 namespace rlcr::gsino {
+
+namespace {
+
+/// See RoutingProblem::fingerprint(): everything routing/budgeting read.
+std::uint64_t compute_fingerprint(const grid::RegionGrid& grid,
+                                  const ktable::KeffParams& keff,
+                                  const ktable::LskTable& table,
+                                  const std::vector<router::RouterNet>& rnets,
+                                  const std::vector<double>& le_um,
+                                  const GsinoParams& params) {
+  util::Fnv1a64 h;
+  const grid::RegionGridSpec& g = grid.spec();
+  h.i32(g.cols).i32(g.rows).f64(g.region_w_um).f64(g.region_h_um);
+  h.i32(g.h_capacity).i32(g.v_capacity);
+  h.u64(params.seed).f64(params.sensitivity_rate);
+  h.f64(keff.decay_exponent).f64(keff.shield_attenuation);
+  h.i32(keff.max_separation).f64(keff.scale);
+  // The Keff profile is calibrated independently of the technology point
+  // (see KeffModel), but fold the technology in anyway: over-keying on a
+  // field that stops being inert only costs a cache miss, under-keying
+  // would silently share artifacts across technologies.
+  const circuit::Technology& t = params.tech;
+  h.f64(t.vdd).f64(t.clock_hz).f64(t.rise_time_s);
+  h.f64(t.wire_width_um).f64(t.wire_space_um).f64(t.wire_thickness_um);
+  h.f64(t.dielectric_h_um).f64(t.eps_r).f64(t.resistivity_ohm_m);
+  h.f64(t.driver_ohms).f64(t.load_farads);
+  h.u64(table.size());
+  for (const ktable::LskEntry& e : table.entries()) {
+    h.f64(e.lsk).f64(e.voltage);
+  }
+  h.u64(rnets.size());
+  for (const router::RouterNet& n : rnets) {
+    h.i32(n.id).f64(n.si).u64(n.pins.size());
+    for (const geom::Point p : n.pins) h.i32(p.x).i32(p.y);
+  }
+  for (const double le : le_um) h.f64(le);
+  return h.value();
+}
+
+}  // namespace
 
 RoutingProblem::RoutingProblem(const netlist::Netlist& design,
                                const grid::RegionGridSpec& gspec,
@@ -38,6 +80,8 @@ RoutingProblem::RoutingProblem(const netlist::Netlist& design,
     le_um_.push_back(std::max(le, pitch));
     rnets_.push_back(std::move(rn));
   }
+  fingerprint_ = compute_fingerprint(grid_, params_.keff, table_, rnets_,
+                                     le_um_, params_);
 }
 
 RoutingProblem make_problem(const netlist::Netlist& design,

@@ -39,6 +39,18 @@ class RoutingProblem {
 
   std::size_t net_count() const { return rnets_.size(); }
 
+  /// Stable 64-bit identity of everything Phase I routing and budgeting
+  /// read from this problem: grid spec, every router net (id, pins, S_i),
+  /// Le, the LSK table, the Keff parameters, the master seed, and the
+  /// sensitivity rate (the pairwise sensitivity graph is a pure function
+  /// of net count, rate, and seed). Two problems with equal fingerprints
+  /// produce bit-identical routing and budget artifacts, which is what
+  /// lets the persistent artifact store (src/store) warm-start a fresh
+  /// process from another session's saved artifacts. Computed once at
+  /// construction (util/hash.h folds little-endian, so the value is
+  /// platform-stable and safe to use in on-disk cache keys).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   GsinoParams params_;
   grid::RegionGrid grid_;
@@ -48,6 +60,7 @@ class RoutingProblem {
   sino::NssModel nss_;
   std::vector<router::RouterNet> rnets_;
   std::vector<double> le_um_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// Convenience: build the grid spec and problem straight from a synthetic

@@ -6,6 +6,7 @@
 #include "core/paths.h"
 #include "core/refine.h"
 #include "parallel/parallel_for.h"
+#include "store/artifact_store.h"
 #include "sino/anneal.h"
 #include "sino/batch.h"
 #include "sino/greedy.h"
@@ -94,6 +95,26 @@ RegionSolution build_region(const RoutingProblem& problem,
 /// The historical per-region annealing stream seed of Phase III re-solves.
 std::uint64_t resolve_seed(const RoutingProblem& p, std::size_t sol_index) {
   return p.params().seed ^ (sol_index * 131071u);
+}
+
+// LRU bookkeeping over the per-stage cache vectors: recency order with the
+// back most recent. A hit rotates its entry to the back; an insert beyond
+// the entry budget evicts from the front (budget 0 = unbounded).
+
+template <typename Entry>
+void lru_touch(std::vector<Entry>& cache, std::size_t i) {
+  std::rotate(cache.begin() + static_cast<std::ptrdiff_t>(i),
+              cache.begin() + static_cast<std::ptrdiff_t>(i) + 1, cache.end());
+}
+
+template <typename Entry>
+void lru_insert(std::vector<Entry>& cache, Entry entry, std::size_t budget) {
+  if (budget > 0 && cache.size() >= budget) {
+    cache.erase(cache.begin(),
+                cache.begin() + static_cast<std::ptrdiff_t>(
+                                    cache.size() - budget + 1));
+  }
+  cache.push_back(std::move(entry));
 }
 
 }  // namespace
@@ -236,25 +257,13 @@ std::shared_ptr<const RoutingArtifact> FlowSession::route(FlowKind kind) {
   return route(router_profile(kind), kind);
 }
 
-std::shared_ptr<const RoutingArtifact> FlowSession::route(
-    const router::IdRouterOptions& options, FlowKind kind) {
-  ++counters_.route_requests;
-  for (const RouteEntry& e : route_cache_) {
-    if (e.options.same_routing_profile(options)) {
-      emit(Stage::kRoute, kind, e.artifact->seconds, /*reused=*/true);
-      return e.artifact;
-    }
-  }
-
-  const RoutingProblem& p = *problem_;
-  util::Stopwatch watch;
+std::shared_ptr<RoutingArtifact> derive_routing_artifact(
+    const RoutingProblem& p, const router::IdRouterOptions& options,
+    std::uint64_t seed, std::shared_ptr<const router::RoutingResult> routing) {
   auto art = std::make_shared<RoutingArtifact>();
   art->options = options;
-  art->seed = p.params().seed;
+  art->seed = seed;
 
-  const router::IdRouter router(p.grid(), p.nss(), options);
-  auto routing = std::make_shared<router::RoutingResult>(
-      router.route(p.router_nets()));
   auto occupancy =
       std::make_shared<router::Occupancy>(p.grid(), routing->routes);
   auto segments = std::make_shared<grid::CongestionMap>(p.grid());
@@ -277,10 +286,57 @@ std::shared_ptr<const RoutingArtifact> FlowSession::route(
   art->segments = std::move(segments);
   art->critical_path_um = std::move(lengths);
   art->paths = std::move(index);
+  return art;
+}
+
+std::shared_ptr<const RoutingArtifact> FlowSession::route(
+    const router::IdRouterOptions& options, FlowKind kind) {
+  ++counters_.route_requests;
+  for (std::size_t i = 0; i < route_cache_.size(); ++i) {
+    if (route_cache_[i].options.same_routing_profile(options)) {
+      lru_touch(route_cache_, i);
+      const auto art = route_cache_.back().artifact;
+      emit(Stage::kRoute, kind, art->seconds, /*reused=*/true);
+      return art;
+    }
+  }
+
+  const RoutingProblem& p = *problem_;
+
+  // Consult the persistent store before computing: a hit is a warm start
+  // from another session (possibly another process) that published the
+  // same profile. Loaded artifacts are bit-identical to computed ones, so
+  // they enter the in-memory cache like any other.
+  const std::uint64_t store_key =
+      options_.store ? store::routing_key(p, options) : 0;
+  if (options_.store) {
+    if (auto art = options_.store->get_routing(store_key, p)) {
+      // Defense in depth beyond the checksum + route-hash oracle: the
+      // record carries its own identity, so a record filed under the
+      // wrong key (an operator shuffling store files; a key collision)
+      // is treated as a miss rather than driving the flow with a foreign
+      // profile's routes.
+      if (art->options.same_routing_profile(options)) {
+        ++counters_.route_loaded;
+        lru_insert(route_cache_, RouteEntry{options, art},
+                   options_.cache_entries);
+        emit(Stage::kRoute, kind, art->seconds, /*reused=*/true);
+        return art;
+      }
+    }
+  }
+
+  util::Stopwatch watch;
+  const router::IdRouter router(p.grid(), p.nss(), options);
+  auto routing = std::make_shared<router::RoutingResult>(
+      router.route(p.router_nets()));
+  auto art =
+      derive_routing_artifact(p, options, p.params().seed, std::move(routing));
   art->seconds = watch.seconds();
 
   ++counters_.route_executed;
-  route_cache_.push_back(RouteEntry{options, art});
+  lru_insert(route_cache_, RouteEntry{options, art}, options_.cache_entries);
+  if (options_.store) options_.store->put_routing(store_key, *art);
   emit(Stage::kRoute, kind, art->seconds, /*reused=*/false);
   return art;
 }
@@ -298,15 +354,43 @@ std::shared_ptr<const BudgetArtifact> FlowSession::budget(
   // routing-independent and shared across profiles.
   const std::shared_ptr<const RoutingArtifact> route_id =
       rule == BudgetRule::kRoutedLength ? phase1 : nullptr;
-  for (const BudgetEntry& e : budget_cache_) {
+  for (std::size_t i = 0; i < budget_cache_.size(); ++i) {
+    const BudgetEntry& e = budget_cache_[i];
     if (e.rule == rule && e.bound_v == bound_v && e.margin == margin &&
         e.phase1 == route_id) {
-      emit(Stage::kBudget, kind, e.artifact->seconds, /*reused=*/true);
-      return e.artifact;
+      lru_touch(budget_cache_, i);
+      const auto art = budget_cache_.back().artifact;
+      emit(Stage::kBudget, kind, art->seconds, /*reused=*/true);
+      return art;
     }
   }
 
   const RoutingProblem& p = *problem_;
+
+  // Store consult (see route()). The routed-length rule keys on the
+  // routing artifact it budgets from, mirroring the in-memory cache.
+  const std::uint64_t store_key =
+      options_.store
+          ? store::budget_key(p, rule, bound_v, margin,
+                              route_id ? store::routing_key(p, route_id->options)
+                                       : 0)
+          : 0;
+  if (options_.store) {
+    if (auto art = options_.store->get_budget(store_key, p)) {
+      // Same identity cross-check as route(): a mislabeled record must
+      // not install foreign Kth bounds under this (rule, bound, margin).
+      if (art->rule == rule && art->bound_v == bound_v &&
+          art->margin == margin) {
+        ++counters_.budget_loaded;
+        lru_insert(budget_cache_,
+                   BudgetEntry{rule, bound_v, margin, route_id, art},
+                   options_.cache_entries);
+        emit(Stage::kBudget, kind, art->seconds, /*reused=*/true);
+        return art;
+      }
+    }
+  }
+
   util::Stopwatch watch;
   auto art = std::make_shared<BudgetArtifact>();
   art->rule = rule;
@@ -337,7 +421,9 @@ std::shared_ptr<const BudgetArtifact> FlowSession::budget(
   art->seconds = watch.seconds();
 
   ++counters_.budget_executed;
-  budget_cache_.push_back(BudgetEntry{rule, bound_v, margin, route_id, art});
+  lru_insert(budget_cache_, BudgetEntry{rule, bound_v, margin, route_id, art},
+             options_.cache_entries);
+  if (options_.store) options_.store->put_budget(store_key, *art);
   emit(Stage::kBudget, kind, art->seconds, /*reused=*/false);
   return art;
 }
@@ -347,11 +433,14 @@ std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_regions(
     const std::shared_ptr<const BudgetArtifact>& budget, bool anneal_phase2) {
   ++counters_.solve_requests;
   const bool anneal = anneal_phase2 && kind != FlowKind::kIdNo;
-  for (const SolveEntry& e : solve_cache_) {
+  for (std::size_t i = 0; i < solve_cache_.size(); ++i) {
+    const SolveEntry& e = solve_cache_[i];
     if (e.kind == kind && e.anneal == anneal && e.phase1 == phase1.get() &&
         e.budget == budget.get()) {
-      emit(Stage::kSolveRegions, kind, e.artifact->seconds, /*reused=*/true);
-      return e.artifact;
+      lru_touch(solve_cache_, i);
+      const auto art = solve_cache_.back().artifact;
+      emit(Stage::kSolveRegions, kind, art->seconds, /*reused=*/true);
+      return art;
     }
   }
 
@@ -439,8 +528,8 @@ std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_regions(
   art->seconds = watch.seconds();
 
   ++counters_.solve_executed;
-  solve_cache_.push_back(
-      SolveEntry{kind, anneal, phase1.get(), budget.get(), art});
+  lru_insert(solve_cache_, SolveEntry{kind, anneal, phase1.get(), budget.get(), art},
+             options_.cache_entries);
   emit(Stage::kSolveRegions, kind, art->seconds, /*reused=*/false);
   return art;
 }
@@ -480,10 +569,13 @@ std::shared_ptr<const RefineArtifact> FlowSession::refine(
     const std::shared_ptr<const RegionSolveArtifact>& solve,
     const RefineOptions& options) {
   ++counters_.refine_requests;
-  for (const RefineEntry& e : refine_cache_) {
+  for (std::size_t i = 0; i < refine_cache_.size(); ++i) {
+    const RefineEntry& e = refine_cache_[i];
     if (e.solve == solve.get() && e.batch_pass2 == options.batch_pass2) {
-      emit(Stage::kRefine, solve->kind, e.artifact->seconds, /*reused=*/true);
-      return e.artifact;
+      lru_touch(refine_cache_, i);
+      const auto art = refine_cache_.back().artifact;
+      emit(Stage::kRefine, solve->kind, art->seconds, /*reused=*/true);
+      return art;
     }
   }
 
@@ -508,7 +600,8 @@ std::shared_ptr<const RefineArtifact> FlowSession::refine(
   art->seconds = watch.seconds();
 
   ++counters_.refine_executed;
-  refine_cache_.push_back(RefineEntry{solve.get(), options.batch_pass2, art});
+  lru_insert(refine_cache_, RefineEntry{solve.get(), options.batch_pass2, art},
+             options_.cache_entries);
   emit(Stage::kRefine, solve->kind, art->seconds, /*reused=*/false);
   return art;
 }

@@ -49,6 +49,10 @@
 #include "router/occupancy.h"
 #include "sino/evaluator.h"
 
+namespace rlcr::store {
+class ArtifactStore;
+}  // namespace rlcr::store
+
 namespace rlcr::gsino {
 
 enum class FlowKind { kIdNo, kIsino, kGsino };
@@ -160,6 +164,17 @@ struct RoutingArtifact {
   std::shared_ptr<const PathIndex> paths;
   double seconds = 0.0;  ///< compute time when this artifact was built
 };
+
+/// Derive the flow-independent views of a routed result — occupancy,
+/// segment congestion, critical paths/path index — and assemble the full
+/// artifact (seconds left at 0 for the caller to stamp). This is the one
+/// derivation path shared by FlowSession::route() and the persistent
+/// store's loader (store/serial.cpp), so an artifact deserialized from
+/// disk is bit-identical to a freshly computed one: the derivations are
+/// deterministic functions of (problem, routes).
+std::shared_ptr<RoutingArtifact> derive_routing_artifact(
+    const RoutingProblem& problem, const router::IdRouterOptions& options,
+    std::uint64_t seed, std::shared_ptr<const router::RoutingResult> routing);
 
 /// How Phase I budgeting derives per-net Kth bounds.
 enum class BudgetRule {
@@ -339,13 +354,16 @@ struct FlowState {
 
 // -------------------------------------------------------------- FlowSession
 
-/// Stage-execution counters: `*_executed` counts cache misses (actual
-/// compute), `*_requests` counts stage calls. A what-if re-solve at a new
-/// bound shows route_requests advancing while route_executed stands still
-/// — the proof Phase I was skipped.
+/// Stage-execution counters: `*_executed` counts actual compute,
+/// `*_requests` counts stage calls, and `*_loaded` counts artifacts served
+/// from the persistent store (neither a compute nor an in-memory hit). A
+/// what-if re-solve at a new bound shows route_requests advancing while
+/// route_executed stands still — the proof Phase I was skipped; a fresh
+/// process warm-starting from a shared store shows route_executed == 0
+/// with route_loaded > 0.
 struct StageCounters {
-  std::size_t route_requests = 0, route_executed = 0;
-  std::size_t budget_requests = 0, budget_executed = 0;
+  std::size_t route_requests = 0, route_executed = 0, route_loaded = 0;
+  std::size_t budget_requests = 0, budget_executed = 0, budget_loaded = 0;
   std::size_t solve_requests = 0, solve_executed = 0;
   std::size_t refine_requests = 0, refine_executed = 0;
 };
@@ -362,6 +380,23 @@ struct Scenario {
 
 struct SessionOptions {
   StageObserver observer;
+  /// Optional persistent artifact store (store/artifact_store.h). When
+  /// set, route() and budget() consult it on an in-memory cache miss
+  /// before computing — a fresh process warm-starts from artifacts a
+  /// previous session published — and publish freshly computed artifacts
+  /// back. Loaded artifacts are bit-identical to computed ones (the
+  /// store's load path re-derives views through derive_routing_artifact
+  /// and verifies the embedded route hash), so downstream stages cannot
+  /// tell the difference. Safe to share one store across concurrent
+  /// sessions and processes.
+  std::shared_ptr<store::ArtifactStore> store;
+  /// Per-stage in-memory artifact cache budget (entries, LRU eviction;
+  /// 0 = unbounded). The default is generous — experiment-sized runs
+  /// never evict — while a long-lived what-if service can bound its
+  /// footprint; evicted routing/budget artifacts stay reachable through
+  /// `store` (solve/refine artifacts are not auto-published and recompute
+  /// on re-request).
+  std::size_t cache_entries = 64;
 };
 
 /// A staged, re-entrant pipeline over one RoutingProblem. Stages can be
@@ -468,11 +503,16 @@ class FlowSession {
     bool batch_pass2;
     std::shared_ptr<const RefineArtifact> artifact;
   };
-  // Caches are append-only for the session's lifetime: every distinct
-  // (profile) / (rule, bound, margin) / (kind, anneal, inputs) pins its
-  // artifact, so a sweep over N bounds holds N Phase II snapshots. Fine
-  // at experiment scale; a long-lived what-if service wants an eviction
-  // policy (ROADMAP open item).
+  // Each cache is an LRU list in recency order (back = most recent): a hit
+  // rotates the entry to the back, an insert beyond the entry budget
+  // (SessionOptions::cache_entries) evicts the front. Entries hold their
+  // artifacts via shared_ptr, so eviction never invalidates an artifact a
+  // caller (or a downstream cache entry) still references — the raw-pointer
+  // keys in SolveEntry/RefineEntry stay unambiguous because each entry's
+  // artifact pins its own inputs alive (no address reuse while the entry
+  // lives). Evicted routing/budget work stays reachable through the
+  // persistent store when one is attached; evicted solve/refine artifacts
+  // recompute.
   std::vector<RouteEntry> route_cache_;
   std::vector<BudgetEntry> budget_cache_;
   std::vector<SolveEntry> solve_cache_;

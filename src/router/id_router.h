@@ -62,6 +62,7 @@
 #pragma once
 
 #include <cstdint>
+#include <tuple>
 
 #include "grid/congestion.h"
 #include "grid/region_grid.h"
@@ -113,20 +114,33 @@ struct IdRouterOptions {
   /// earlier pop updated).
   int threads = 0;
 
-  /// True when `other` routes identically: every field that can change
-  /// the routing output is compared; `threads` is excluded (output is
-  /// thread-count-invariant). This is the cache identity of a session's
-  /// RoutingArtifact — when adding an output-affecting option, extend
-  /// this comparison in the same change.
+ private:
+  /// The single enumeration behind both profile_tie() overloads below.
+  /// (Lexically first: auto return deduction needs the body before use.)
+  template <typename Self>
+  static auto profile_tie_of(Self& self) {
+    return std::tie(self.weights.alpha, self.weights.beta, self.weights.gamma,
+                    self.reserve_shields, self.huge_net_bbox_threshold,
+                    self.preroute_shape, self.max_detour_factor,
+                    self.detour_slack);
+  }
+
+ public:
+  /// THE routing-profile field list: every field that can change the
+  /// routing output, as one ordered tuple of references; `threads` is
+  /// excluded (output is thread-count-invariant). Equality comparison
+  /// (session cache identity), the store key hash, and the on-disk
+  /// serialization of a profile all iterate this one list (via
+  /// profile_tie_of above), so adding an output-affecting option there
+  /// extends all three consistently — never enumerate the fields
+  /// anywhere else.
+  auto profile_tie() { return profile_tie_of(*this); }
+  auto profile_tie() const { return profile_tie_of(*this); }
+
+  /// True when `other` routes identically — the cache identity of a
+  /// session's RoutingArtifact.
   bool same_routing_profile(const IdRouterOptions& other) const {
-    return weights.alpha == other.weights.alpha &&
-           weights.beta == other.weights.beta &&
-           weights.gamma == other.weights.gamma &&
-           reserve_shields == other.reserve_shields &&
-           huge_net_bbox_threshold == other.huge_net_bbox_threshold &&
-           max_detour_factor == other.max_detour_factor &&
-           detour_slack == other.detour_slack &&
-           preroute_shape == other.preroute_shape;
+    return profile_tie() == other.profile_tie();
   }
 };
 

@@ -2,7 +2,24 @@
 
 #include <unordered_map>
 
+#include "util/hash.h"
+
 namespace rlcr::router {
+
+std::uint64_t route_hash(const RoutingResult& res) {
+  util::Fnv1a64 h;
+  for (const NetRoute& r : res.routes) {
+    h.i64(r.net_id);
+    h.i64(static_cast<std::int64_t>(r.edges.size()));
+    for (const GridEdge& e : r.edges) {
+      h.i64(e.a.x);
+      h.i64(e.a.y);
+      h.i64(e.b.x);
+      h.i64(e.b.y);
+    }
+  }
+  return h.value();
+}
 
 double NetRoute::wirelength_um(const grid::RegionGrid& grid) const {
   double acc = 0.0;

@@ -78,4 +78,11 @@ struct RoutingResult {
   RoutingStats stats;
 };
 
+/// FNV-1a over every net's (id, edge count, edge list): the golden-seed
+/// regression hash pinned by the router/integration/session tests, and the
+/// fidelity oracle of the persistent artifact store (store/serial.cpp
+/// embeds it at save time and re-verifies it after load). Hash values are
+/// platform-stable (util/hash.h folds little-endian).
+std::uint64_t route_hash(const RoutingResult& res);
+
 }  // namespace rlcr::router

@@ -1,0 +1,145 @@
+// Content-addressed, size-budgeted on-disk artifact cache.
+//
+// An ArtifactStore maps (artifact type, 64-bit identity key) to a
+// serialized artifact record (store/serial.h) in one flat directory. Keys
+// are the session's profile identity, not hashes of the output: a routing
+// key digests the problem fingerprint (circuit/netlist + grid + seed —
+// RoutingProblem::fingerprint()) plus the router options profile with
+// `threads` excluded, so any process that assembles the same problem
+// derives the same key and warm-starts from artifacts another process
+// published. Determinism makes this sound: equal inputs produce
+// bit-identical artifacts, so a stored record is interchangeable with a
+// fresh compute.
+//
+// Durability/concurrency contract:
+//   - writes are atomic: records land in a temp file in the store
+//     directory and are renamed into place (POSIX rename atomicity), so
+//     readers never observe a partial record;
+//   - any number of threads may share one ArtifactStore (all methods are
+//     internally locked) and any number of processes may share one
+//     directory — cross-process races resolve to one winner per key, and
+//     a vanished or half-evicted file is just a miss;
+//   - a record that fails validation on load (truncation, checksum,
+//     version or problem mismatch) counts as `rejected`, is deleted, and
+//     reads as a miss — the caller recomputes and republishes.
+//
+// Eviction: when the directory's record bytes exceed StoreOptions::
+// max_bytes after a put, least-recently-used records are deleted until the
+// budget holds (the record just written is exempt). Recency is the file
+// mtime; loads touch it, so warm entries survive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "store/serial.h"
+
+namespace rlcr::store {
+
+struct StoreOptions {
+  /// LRU size budget for the store directory's records; 0 = unbounded.
+  std::uintmax_t max_bytes = std::uintmax_t{256} << 20;
+};
+
+/// Counter surface (snapshot via ArtifactStore::stats()).
+struct StoreStats {
+  std::size_t hits = 0;        ///< get() found a valid record
+  std::size_t misses = 0;      ///< get() found nothing usable
+  std::size_t stores = 0;      ///< put() wrote a new record
+  std::size_t evictions = 0;   ///< records deleted by the LRU budget
+  std::size_t rejected = 0;    ///< records that failed load validation
+  std::size_t put_failures = 0;  ///< publishes that could not be written
+  std::uintmax_t bytes_written = 0;
+  std::uintmax_t bytes_read = 0;
+};
+
+class ArtifactStore {
+ public:
+  /// Creates `dir` (and parents) if missing. Throws std::runtime_error
+  /// when the directory cannot be created or is not a directory — a
+  /// misconfigured store path should fail loudly at construction, not
+  /// degrade every run into a silent cold start. Later per-record I/O
+  /// failures are non-fatal: the put is dropped and counted
+  /// (StoreStats::put_failures), the session just recomputes.
+  explicit ArtifactStore(std::filesystem::path dir, StoreOptions options = {});
+
+  const std::filesystem::path& dir() const { return dir_; }
+  StoreStats stats() const;
+  /// Total size of the records currently on disk.
+  std::uintmax_t bytes_on_disk() const;
+
+  // ---- raw record layer -----------------------------------------------
+  bool put(ArtifactType type, std::uint64_t key,
+           const std::vector<std::uint8_t>& bytes);
+  std::optional<std::vector<std::uint8_t>> get(ArtifactType type,
+                                               std::uint64_t key);
+
+  // ---- typed layer (serial.h encode/decode + validation stats) --------
+  void put_routing(std::uint64_t key, const gsino::RoutingArtifact& art);
+  std::shared_ptr<const gsino::RoutingArtifact> get_routing(
+      std::uint64_t key, const gsino::RoutingProblem& problem);
+
+  void put_budget(std::uint64_t key, const gsino::BudgetArtifact& art);
+  std::shared_ptr<const gsino::BudgetArtifact> get_budget(
+      std::uint64_t key, const gsino::RoutingProblem& problem);
+
+  void put_region_solve(std::uint64_t key,
+                        const gsino::RegionSolveArtifact& art);
+  std::shared_ptr<const gsino::RegionSolveArtifact> get_region_solve(
+      std::uint64_t key, const gsino::RoutingProblem& problem,
+      std::shared_ptr<const gsino::RoutingArtifact> phase1,
+      std::shared_ptr<const gsino::BudgetArtifact> budget);
+
+ private:
+  std::filesystem::path path_of(ArtifactType type, std::uint64_t key) const;
+  bool touch_existing(ArtifactType type, std::uint64_t key);
+  std::uintmax_t scan_bytes_locked() const;
+  void evict_over_budget_locked(const std::filesystem::path& keep);
+  void reject_locked(const std::filesystem::path& path,
+                     const std::vector<std::uint8_t>& bad_bytes);
+
+  std::filesystem::path dir_;
+  StoreOptions options_;
+  mutable std::mutex mu_;
+  StoreStats stats_;
+  /// Running estimate of the directory's record bytes (guarded by mu_):
+  /// seeded by one scan at construction, advanced on every put, re-synced
+  /// to the exact total whenever an eviction pass scans. Keeps put() from
+  /// stat-ing the whole directory under the lock while below budget; it
+  /// may lag other processes' writes, but each writer enforces the budget
+  /// on its own puts, so the directory still converges under it.
+  mutable std::uintmax_t bytes_estimate_ = 0;
+  /// Uniquifies temp names across this store's concurrent writers (record
+  /// writes run outside mu_; pid alone only separates processes).
+  std::atomic<std::uint64_t> tmp_serial_{0};
+};
+
+using StorePtr = std::shared_ptr<ArtifactStore>;
+
+// ------------------------------------------------------------ identities
+
+/// Key of the routing artifact a session computes for `options` over
+/// `problem`: problem fingerprint + routing profile, `threads` excluded
+/// (it never changes output — the same exclusion FlowSession's in-memory
+/// cache applies via same_routing_profile).
+std::uint64_t routing_key(const gsino::RoutingProblem& problem,
+                          const router::IdRouterOptions& options);
+
+/// Key of a budget artifact. `routing` is the routing_key() of the
+/// artifact budgeted from for the routed-length (iSINO) rule, 0 for the
+/// routing-independent Manhattan rules — mirroring the session cache.
+std::uint64_t budget_key(const gsino::RoutingProblem& problem,
+                         gsino::BudgetRule rule, double bound_v, double margin,
+                         std::uint64_t routing);
+
+/// Key of a Phase II region-solve artifact over its input identities.
+std::uint64_t solve_key(const gsino::RoutingProblem& problem,
+                        gsino::FlowKind kind, bool annealed,
+                        std::uint64_t routing, std::uint64_t budget);
+
+}  // namespace rlcr::store

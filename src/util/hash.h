@@ -1,0 +1,42 @@
+// Streaming FNV-1a 64-bit hasher over primitive fields: the one identity
+// mix shared by the golden route hash (router/route_types.h), the problem
+// fingerprint (core/problem.h), and the artifact-store keys (src/store).
+// Byte order is fixed (values are folded in little-endian), so a hash is
+// stable across platforms — a requirement for on-disk cache keys.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace rlcr::util {
+
+class Fnv1a64 {
+ public:
+  Fnv1a64& u8(std::uint8_t v) {
+    h_ ^= v;
+    h_ *= kPrime;
+    return *this;
+  }
+  Fnv1a64& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+  Fnv1a64& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Fnv1a64& i32(std::int32_t v) { return i64(v); }
+  Fnv1a64& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+  Fnv1a64& boolean(bool v) { return u8(v ? 1 : 0); }
+  Fnv1a64& str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) u8(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h_ = 1469598103934665603ULL;  // FNV-1a offset basis
+};
+
+}  // namespace rlcr::util

@@ -1,7 +1,9 @@
-// Shared helpers for the golden-seed regression tests: a route hash that
-// pins exact edges and a presence-overflow metric. One definition so the
-// pinned values in router_test.cpp and integration_test.cpp are guaranteed
-// to use the same functions.
+// Shared helpers for the golden-seed regression tests. The route hash that
+// pins exact edges now lives in the library itself (router/route_types.h —
+// the persistent artifact store uses it as its load-fidelity oracle), so
+// the pinned values here, in the store, and in every test are guaranteed
+// to come from the same function. The presence-overflow metric stays
+// test-only.
 #pragma once
 
 #include <algorithm>
@@ -12,28 +14,6 @@
 #include "router/route_types.h"
 
 namespace rlcr::router {
-
-/// FNV-1a over every net's (id, edge count, sorted edge list).
-inline std::uint64_t route_hash(const RoutingResult& res) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
-  auto mix = [&](std::int64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= static_cast<std::uint8_t>(v >> (8 * i));
-      h *= 1099511628211ULL;
-    }
-  };
-  for (const NetRoute& r : res.routes) {
-    mix(r.net_id);
-    mix(static_cast<std::int64_t>(r.edges.size()));
-    for (const GridEdge& e : r.edges) {
-      mix(e.a.x);
-      mix(e.a.y);
-      mix(e.b.x);
-      mix(e.b.y);
-    }
-  }
-  return h;
-}
 
 /// Presence overflow: one track per (region, dir) a net touches, summed
 /// over capacity.

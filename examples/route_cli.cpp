@@ -28,6 +28,7 @@
 #include "core/experiment.h"
 #include "core/session.h"
 #include "netlist/ispd98.h"
+#include "netlist/ispd98_synth.h"
 #include "netlist/placement.h"
 #include "store/artifact_store.h"
 #include "util/csv.h"
@@ -39,6 +40,7 @@ namespace {
 
 struct CliOptions {
   std::string circuit = "ibm01";
+  std::string ispd98_class;
   std::string net_path;
   std::string are_path;
   std::string noise_csv;
@@ -60,6 +62,13 @@ struct CliOptions {
   std::printf(
       "usage: %s [options]\n"
       "  --circuit ibm01..ibm06   synthetic stand-in (default ibm01)\n"
+      "  --ispd98-class ibm01..ibm06\n"
+      "                           ISPD98-class instance instead: the genuine\n"
+      "                           circuit when RLCR_ISPD98_DIR holds it (at\n"
+      "                           --scale 1 only — real circuits cannot\n"
+      "                           shrink with the fabric), else the\n"
+      "                           calibrated synthetic stand-in, on the\n"
+      "                           class's own grid (--scale applies)\n"
       "  --scale S                density-preserving shrink (default 0.25)\n"
       "  --net FILE [--are FILE]  route a real ISPD'98 netD circuit instead\n"
       "  --outline WxH            chip outline in um (required with --net)\n"
@@ -112,6 +121,8 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--circuit")) {
       opt.circuit = next();
+    } else if (!std::strcmp(argv[i], "--ispd98-class")) {
+      opt.ispd98_class = next();
     } else if (!std::strcmp(argv[i], "--scale")) {
       opt.scale = std::atof(next());
     } else if (!std::strcmp(argv[i], "--net")) {
@@ -171,7 +182,26 @@ int main(int argc, char** argv) {
   // ---- assemble netlist + grid.
   netlist::Netlist design;
   grid::RegionGridSpec gspec;
-  if (!opt.net_path.empty()) {
+  if (!opt.ispd98_class.empty()) {
+    const auto classes = netlist::ispd98_classes(opt.scale);
+    const netlist::Ispd98ClassSpec* spec =
+        netlist::find_ispd98_class(classes, opt.ispd98_class);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown ISPD98 class '%s'\n",
+                   opt.ispd98_class.c_str());
+      return 2;
+    }
+    netlist::Ispd98Instance inst = netlist::make_ispd98_instance(*spec);
+    std::printf("%s: %s (%zu modules, %zu nets)\n", spec->name.c_str(),
+                inst.source.c_str(), inst.design.cell_count(),
+                inst.design.net_count());
+    if (inst.real && !inst.parse_stats.counts_match()) {
+      std::fprintf(stderr, "warning: netD header/parsed mismatch — %s\n",
+                   inst.parse_stats.mismatch_report().c_str());
+    }
+    design = std::move(inst.design);
+    gspec = inst.gspec;
+  } else if (!opt.net_path.empty()) {
     if (opt.outline_w <= 0.0) {
       std::fprintf(stderr, "--net requires --outline WxH\n");
       return 2;

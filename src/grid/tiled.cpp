@@ -1,0 +1,20 @@
+#include "grid/tiled.h"
+
+namespace rlcr::grid {
+
+namespace {
+
+RegionStorage g_default =
+#ifdef RLCR_DENSE_GRID
+    RegionStorage::kDense;
+#else
+    RegionStorage::kTiled;
+#endif
+
+}  // namespace
+
+RegionStorage default_region_storage() { return g_default; }
+
+void set_default_region_storage(RegionStorage storage) { g_default = storage; }
+
+}  // namespace rlcr::grid

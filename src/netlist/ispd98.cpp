@@ -39,6 +39,20 @@ std::size_t parse_count(const std::string& line, const char* what) {
 
 }  // namespace
 
+std::string Ispd98Stats::mismatch_report() const {
+  std::string report;
+  auto field = [&](const char* what, std::size_t declared, std::size_t parsed) {
+    if (declared == parsed) return;
+    if (!report.empty()) report += "; ";
+    report += std::string(what) + ": header declares " +
+              std::to_string(declared) + ", parsed " + std::to_string(parsed);
+  };
+  field("pins", declared_pins, parsed_pins);
+  field("nets", declared_nets, parsed_nets);
+  field("modules", declared_modules, parsed_modules);
+  return report;
+}
+
 Ispd98Stats Ispd98Parser::parse_net(std::istream& in, Netlist& out) const {
   Ispd98Stats stats;
   std::string line;
@@ -132,11 +146,13 @@ std::size_t Ispd98Parser::parse_areas(std::istream& in, Netlist& inout) const {
 }
 
 Netlist Ispd98Parser::load(const std::string& net_path,
-                           const std::string& are_path) const {
+                           const std::string& are_path,
+                           Ispd98Stats* stats) const {
   std::ifstream net_in(net_path);
   if (!net_in) throw std::runtime_error("ISPD98 parser: cannot open " + net_path);
   Netlist nl(net_path, 0.0, 0.0);
-  parse_net(net_in, nl);
+  const Ispd98Stats parsed = parse_net(net_in, nl);
+  if (stats != nullptr) *stats = parsed;
   if (!are_path.empty()) {
     std::ifstream are_in(are_path);
     if (!are_in) throw std::runtime_error("ISPD98 parser: cannot open " + are_path);

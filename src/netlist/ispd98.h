@@ -31,6 +31,17 @@ struct Ispd98Stats {
   std::size_t parsed_pins = 0;
   std::size_t parsed_nets = 0;
   std::size_t parsed_modules = 0;
+
+  /// True when every parsed count equals its header declaration.
+  bool counts_match() const {
+    return declared_pins == parsed_pins && declared_nets == parsed_nets &&
+           declared_modules == parsed_modules;
+  }
+  /// Human-readable description of every header/parsed discrepancy
+  /// ("" when counts_match()). A mismatch is not a parse error — some
+  /// suite distributions disagree with their own headers — so the parser
+  /// reports it for the caller to surface instead of throwing.
+  std::string mismatch_report() const;
 };
 
 class Ispd98Parser {
@@ -43,8 +54,11 @@ class Ispd98Parser {
   /// Unknown module names are ignored (the suite contains space modules).
   std::size_t parse_areas(std::istream& in, Netlist& inout) const;
 
-  /// Convenience: load netD (+ optional .are) from files.
-  Netlist load(const std::string& net_path, const std::string& are_path = "") const;
+  /// Convenience: load netD (+ optional .are) from files. When `stats` is
+  /// non-null it receives the parse summary (callers typically surface
+  /// stats->mismatch_report() as a warning).
+  Netlist load(const std::string& net_path, const std::string& are_path = "",
+               Ispd98Stats* stats = nullptr) const;
 };
 
 }  // namespace rlcr::netlist

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "grid/tiled.h"
 #include "parallel/parallel_for.h"
 #include "rsmt/steiner.h"
 #include "util/indexed_heap.h"
@@ -137,14 +138,17 @@ struct RegionStat {
   double nns = 0.0, sum_si = 0.0, sum_si2 = 0.0;
 };
 
+/// Backed by first-touch tiles (grid/tiled.h) so an ISPD98-size grid pays
+/// for the regions nets actually touch, not the whole fabric; storage mode
+/// never changes the arithmetic, so routing output is identical in both.
 struct RegionStats {
-  std::vector<RegionStat> s[2];
+  grid::TiledVec<RegionStat> s[2];
 
-  explicit RegionStats(std::size_t regions) {
-    for (int d = 0; d < 2; ++d) s[d].assign(regions, RegionStat{});
+  RegionStats(std::size_t regions, grid::RegionStorage storage) {
+    for (int d = 0; d < 2; ++d) s[d].reset(regions, storage);
   }
   void add(std::size_t region, int d, double w, double si) {
-    RegionStat& r = s[d][region];
+    RegionStat& r = s[d].ref(region);
     r.nns += w;
     r.sum_si += w * si;
     r.sum_si2 += w * si * si;
@@ -203,7 +207,8 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   result.routes.resize(nets.size());
 
   const std::size_t region_count = grid_->region_count();
-  RegionStats stats(region_count);
+  const grid::RegionStorage storage = grid::default_region_storage();
+  RegionStats stats(region_count, storage);
   const int threads = parallel::resolve_threads(options_.threads);
 
   // ---------------------------------------------------------------- build
@@ -585,16 +590,21 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   const IdWeights& wt = options_.weights;
 
   // Density and overflow of one (region, dir) share a record: the weight
-  // combine reads both with one load each per endpoint.
+  // combine reads both with one load each per endpoint. Tiled like the
+  // stats behind them: an unallocated slot reads as {0, 0}, which is
+  // exactly what refresh_region computes for an untouched region (the
+  // Eq. (3) estimate is exactly 0 for an empty region), so skipping the
+  // warm-up for untouched tiles is value-identical to the dense scan.
   struct DensCache {
     double dens = 0.0, over = 0.0;
   };
-  std::vector<DensCache> dcache[2];
-  for (int d = 0; d < 2; ++d) dcache[d].assign(region_count, DensCache{});
-  // Every (region, dir) is warmed eagerly right after the build (so the
-  // parallel heap-key pass reads the caches without synchronization); the
-  // stale flags only track changes the deletion loop makes from then on.
-  std::vector<std::uint8_t> region_stale(region_count * 2, 0);
+  grid::TiledVec<DensCache> dcache[2];
+  for (int d = 0; d < 2; ++d) dcache[d].reset(region_count, storage);
+  // Every touched (region, dir) is warmed eagerly right after the build
+  // (so the parallel heap-key pass reads the caches without
+  // synchronization); the stale flags only track changes the deletion
+  // loop makes from then on.
+  grid::TiledVec<std::uint8_t> region_stale(region_count * 2, storage);
   auto refresh_region = [&](std::size_t region, int d) {
     const RegionStat& rs = stats.s[d][region];
     double hu = rs.nns;
@@ -602,15 +612,15 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
       hu += nss_->estimate(rs.nns, rs.sum_si, rs.sum_si2);
     }
     const double dens = hu / grid_->capacity(static_cast<grid::Dir>(d));
-    dcache[d][region] = DensCache{dens, dens > 1.0 ? dens - 1.0 : 0.0};
+    dcache[d].ref(region) = DensCache{dens, dens > 1.0 ? dens - 1.0 : 0.0};
   };
   auto mark_dirty = [&](std::size_t region, int d) {
-    region_stale[region * 2 + static_cast<std::size_t>(d)] = 1;
+    region_stale.ref(region * 2 + static_cast<std::size_t>(d)) = 1;
   };
   auto fresh_region = [&](std::size_t region, int d) {
     const std::size_t key = region * 2 + static_cast<std::size_t>(d);
     if (region_stale[key]) {
-      region_stale[key] = 0;
+      region_stale.ref(key) = 0;
       refresh_region(region, d);
     }
   };
@@ -639,13 +649,25 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
     return weight_from_cache(h);
   };
 
-  // Warm every (region, dir) cache once off the final build stats, then
-  // compute the initial heap keys in parallel from the (now read-only)
-  // caches. refresh_region is a pure function of the region's stats, so
-  // eager warming yields exactly the values the historical lazy first-reads
-  // produced; the keys match current_weight() double for double.
+  // Warm every touched (region, dir) cache once off the final build stats,
+  // then compute the initial heap keys in parallel from the (now
+  // read-only) caches. refresh_region is a pure function of the region's
+  // stats, so eager warming yields exactly the values the historical lazy
+  // first-reads produced; the keys match current_weight() double for
+  // double. In tiled mode only tiles the stats touched are warmed — every
+  // edge endpoint lies in a net's bounding box and therefore in a touched
+  // tile, and an untouched region's cache reads as the {0, 0} its refresh
+  // would compute anyway. In dense mode the loop degenerates to the
+  // historical full-grid warm-up (one always-allocated tile).
   for (int d = 0; d < 2; ++d) {
-    for (std::size_t r = 0; r < region_count; ++r) refresh_region(r, d);
+    const std::size_t tiles = stats.s[d].tile_count();
+    for (std::size_t t = 0; t < tiles; ++t) {
+      if (!stats.s[d].tile_allocated(t)) continue;
+      const std::size_t end = stats.s[d].tile_end(t);
+      for (std::size_t r = stats.s[d].tile_begin(t); r < end; ++r) {
+        refresh_region(r, d);
+      }
+    }
   }
 
   util::IndexedMaxHeap heap(total_edges);

@@ -35,7 +35,11 @@
 //     derivations. (An eager region->edge inverted re-weigh index was
 //     measured first and lost: rebalances touch O(net) regions each, so
 //     propagating every change to every touching edge costs far more than
-//     re-weighing the one popped edge on demand.);
+//     re-weighing the one popped edge on demand.) The shared RegionStats
+//     and these caches live in first-touch tiled storage (grid/tiled.h):
+//     ISPD98-size grids allocate and warm only the tiles traffic touches,
+//     with output bit-identical to the dense layout (which remains
+//     selectable via grid::set_default_region_storage / RLCR_DENSE_GRID);
 //   - deletability checks are early-exit bounded BFS (stop once every pin
 //     is certified within its detour limit, or as soon as certification is
 //     impossible), and most pops skip BFS entirely via three monotone

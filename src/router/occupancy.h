@@ -16,6 +16,7 @@
 
 #include "grid/congestion.h"
 #include "grid/region_grid.h"
+#include "grid/tiled.h"
 #include "router/route_types.h"
 
 namespace rlcr::router {
@@ -39,7 +40,9 @@ class Occupancy {
 
   const grid::RegionGrid& grid() const { return *grid_; }
 
-  /// Nets occupying tracks of direction d in a region.
+  /// Nets occupying tracks of direction d in a region (empty for regions
+  /// no route touches — unoccupied slots are never materialized; the
+  /// per-region lists live in first-touch tiled storage, grid/tiled.h).
   const std::vector<Segment>& segments(std::size_t region, grid::Dir d) const {
     return by_region_[static_cast<std::size_t>(d)][region];
   }
@@ -54,12 +57,16 @@ class Occupancy {
   /// Total routed length of a net (sum over its refs).
   double net_length_um(std::size_t net_index) const;
 
-  /// Write segment counts into a congestion map (shield counts untouched).
+  /// Write segment counts into a freshly constructed (all-zero) congestion
+  /// map; shield counts are untouched, and unoccupied regions are left at
+  /// the map's zero default rather than written (so tiled maps never
+  /// materialize traffic-free tiles). Not a reset: reusing a map across
+  /// routings would keep stale counts in regions the new routing misses.
   void fill_segments(grid::CongestionMap& cmap) const;
 
  private:
   const grid::RegionGrid* grid_;
-  std::vector<std::vector<Segment>> by_region_[2];
+  grid::TiledVec<std::vector<Segment>> by_region_[2];
   std::vector<std::vector<NetRegionRef>> by_net_;
 };
 

@@ -400,12 +400,17 @@ std::shared_ptr<const gsino::RegionSolveArtifact> load_region_solve(
   const std::uint64_t regions = r.seq_size(/*elem_bytes=*/16);
   if (!r.ok() || regions != problem.grid().region_count()) return nullptr;
   auto congestion = std::make_shared<grid::CongestionMap>(problem.grid());
+  // The record stores every region (format unchanged); only non-zero
+  // values are written back so a tiled map materializes exactly the tiles
+  // the saved map had live values in.
   for (const grid::Dir d : grid::kBothDirs) {
     for (std::size_t reg = 0; reg < regions; ++reg) {
-      congestion->set_segments(reg, d, r.f64());
+      const double v = r.f64();
+      if (v != 0.0) congestion->set_segments(reg, d, v);
     }
     for (std::size_t reg = 0; reg < regions; ++reg) {
-      congestion->set_shields(reg, d, r.f64());
+      const double v = r.f64();
+      if (v != 0.0) congestion->set_shields(reg, d, v);
     }
   }
   if (!r.at_end()) return nullptr;

@@ -102,5 +102,57 @@ TEST(Ispd98, LoadMissingFileThrows) {
   EXPECT_THROW(Ispd98Parser().load("/nonexistent/file.net"), std::runtime_error);
 }
 
+TEST(Ispd98, MatchingCountsReportNothing) {
+  // Header consistent with the body: 6 pins, 2 nets, 4 modules.
+  std::istringstream in(
+      "0\n6\n2\n4\n1\n"
+      "a0 s\na1 l\np0 l\n"
+      "a2 s\na0 l\na1 l\n");
+  Netlist nl;
+  const Ispd98Stats stats = Ispd98Parser().parse_net(in, nl);
+  EXPECT_TRUE(stats.counts_match());
+  EXPECT_EQ(stats.mismatch_report(), "");
+}
+
+TEST(Ispd98, MismatchReportNamesEveryDiscrepantField) {
+  // Header declares 9 pins / 3 nets / 7 modules; the body holds 7 / 2 / 6.
+  std::istringstream in(std::string("0\n9\n3\n7\n1\n") +
+                        "a0 s\na1 l\np0 l\n"
+                        "a2 s\na0 l\na3 l\np1 l\n");
+  Netlist nl;
+  const Ispd98Stats stats = Ispd98Parser().parse_net(in, nl);
+  EXPECT_FALSE(stats.counts_match());
+  const std::string report = stats.mismatch_report();
+  EXPECT_NE(report.find("pins"), std::string::npos);
+  EXPECT_NE(report.find("declares 9"), std::string::npos);
+  EXPECT_NE(report.find("parsed 7"), std::string::npos);
+  EXPECT_NE(report.find("nets"), std::string::npos);
+  EXPECT_NE(report.find("modules"), std::string::npos);
+}
+
+TEST(Ispd98, MismatchIsNotAParseError) {
+  // A count mismatch is reported, never thrown — some suite distributions
+  // disagree with their own headers.
+  std::istringstream in("0\n100\n100\n100\n0\na0 s\na1 l\n");
+  Netlist nl;
+  Ispd98Stats stats;
+  EXPECT_NO_THROW(stats = Ispd98Parser().parse_net(in, nl));
+  EXPECT_FALSE(stats.counts_match());
+  EXPECT_EQ(nl.net_count(), 1u);
+}
+
+TEST(Ispd98, PadOnlyNetsParse) {
+  // A net whose every terminal is a pad (feed-through I/O) is legal.
+  std::istringstream in("0\n5\n2\n3\n3\np0 s\np1 l\np2 l\np0 s\np2 l\n");
+  Netlist nl;
+  const Ispd98Stats stats = Ispd98Parser().parse_net(in, nl);
+  EXPECT_EQ(stats.parsed_nets, 2u);
+  EXPECT_EQ(nl.net_count(), 2u);
+  for (const Net& net : nl.nets()) {
+    EXPECT_TRUE(net.routable());
+    for (const Pin& p : net.pins) EXPECT_TRUE(nl.cell(p.cell).is_pad);
+  }
+}
+
 }  // namespace
 }  // namespace rlcr::netlist

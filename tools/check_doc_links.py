@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Docs-link check: every relative markdown link in the repo's *.md files
+must resolve to an existing file or directory.
+
+Scans tracked markdown (skipping build trees), extracts inline links and
+images `[text](target)`, ignores external schemes and pure anchors, strips
+`#fragment` suffixes, and resolves the rest against the linking file's
+directory (or the repo root for absolute `/` paths). Exits non-zero
+listing every broken link. Run from anywhere:
+
+    python3 tools/check_doc_links.py
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+# Inline links/images; [text](target "title") also supported.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely hold example syntax; don't lint them.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        base = REPO if target.startswith("/") else os.path.dirname(path)
+        resolved = os.path.normpath(os.path.join(base, target.lstrip("/")))
+        if not os.path.exists(resolved):
+            broken.append((match.group(1), resolved))
+    return broken
+
+
+def main():
+    failures = 0
+    for path in sorted(markdown_files()):
+        for target, resolved in check(path):
+            rel = os.path.relpath(path, REPO)
+            print(f"BROKEN {rel}: ({target}) -> {os.path.relpath(resolved, REPO)}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken markdown link(s)", file=sys.stderr)
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

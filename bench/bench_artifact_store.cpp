@@ -21,6 +21,8 @@
 // trajectory per run), so the warm-start speedup is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include "build_type_context.h"
+
 #include <filesystem>
 #include <memory>
 

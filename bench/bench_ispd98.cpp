@@ -25,6 +25,8 @@
 // iteration statistics, are the recorded trajectory).
 #include <benchmark/benchmark.h>
 
+#include "build_type_context.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

@@ -13,6 +13,8 @@
 // every run so regressions are visible across PRs.
 #include <benchmark/benchmark.h>
 
+#include "build_type_context.h"
+
 #include <algorithm>
 
 #include "grid/region_grid.h"

@@ -17,6 +17,8 @@
 // trajectory per run), so the reuse speedup is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include "build_type_context.h"
+
 #include "core/session.h"
 #include "netlist/synthetic.h"
 

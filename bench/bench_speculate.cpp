@@ -1,0 +1,196 @@
+// Speculative-parallelism A/B on the ISPD98 size classes: the Phase I
+// deletion loop and Phase III refine pass 1 — the flow's two formerly
+// serial walls — each timed serial (threads=1) vs speculative
+// (threads=4, batch=8), with process CPU seconds and the speculation
+// commit rate recorded per entry. Outputs are bit-identical across arms
+// (parallel/speculate.h), so the wall/CPU gap and the commit rate are
+// the whole story.
+//
+//   bench_speculate --benchmark_out=BENCH_speculate.json \
+//                   --benchmark_out_format=json
+//
+// CI merges the entries into BENCH_router.json (tools/merge_bench.py;
+// see bench/README.md). On a 1-vCPU box the speculative arm's wall time
+// cannot improve — the fanout shows in `cpu_s` instead; the commit rate
+// is machine-independent (snapshot selection and validation are serial,
+// so the counters are deterministic for fixed knobs).
+//
+// Environment: RLCR_ISPD98_SCALE / RLCR_ISPD98_DIR as in bench_ispd98.
+#include <benchmark/benchmark.h>
+
+#include "build_type_context.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "core/problem.h"
+#include "core/refine.h"
+#include "core/session.h"
+#include "netlist/ispd98_synth.h"
+#include "router/id_router.h"
+
+using namespace rlcr;
+using namespace rlcr::gsino;
+
+namespace {
+
+double ispd98_scale() {
+  const char* env = std::getenv("RLCR_ISPD98_SCALE");
+  if (env == nullptr) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return (end != env && v > 0.0 && v <= 1.0) ? v : 1.0;
+}
+
+/// Process CPU time (user + system), seconds.
+double cpu_seconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + 1e-6 * static_cast<double>(t.tv_usec);
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+#else
+  return 0.0;
+#endif
+}
+
+std::vector<netlist::Ispd98ClassSpec>& classes() {
+  static std::vector<netlist::Ispd98ClassSpec> c =
+      netlist::ispd98_classes(ispd98_scale());
+  return c;
+}
+
+/// One prepared class, built lazily so a filtered run only pays for the
+/// classes it times. The session carries the cached Phase I/II artifacts
+/// the refine arm restarts from.
+struct ClassContext {
+  std::unique_ptr<RoutingProblem> problem;
+  std::unique_ptr<FlowSession> session;
+};
+
+ClassContext& context_for(std::size_t idx) {
+  static std::vector<std::unique_ptr<ClassContext>> cache(classes().size());
+  if (cache[idx] == nullptr) {
+    auto ctx = std::make_unique<ClassContext>();
+    netlist::Ispd98Instance inst = netlist::make_ispd98_instance(classes()[idx]);
+    GsinoParams params;
+    ctx->problem =
+        std::make_unique<RoutingProblem>(inst.design, inst.gspec, params);
+    ctx->session = std::make_unique<FlowSession>(*ctx->problem);
+    cache[idx] = std::move(ctx);
+  }
+  return *cache[idx];
+}
+
+void spec_counters(benchmark::State& state, double attempted, double committed,
+                   double replayed) {
+  state.counters["spec_attempted"] = attempted;
+  state.counters["spec_committed"] = committed;
+  state.counters["spec_replayed"] = replayed;
+  state.counters["commit_rate"] = attempted > 0.0 ? committed / attempted : 0.0;
+}
+
+/// Phase I deletion loop, serial vs speculative. Args via capture:
+/// (threads, batch); routes are bit-identical across arms.
+void BM_SpeculativeRoute(benchmark::State& state, std::size_t idx, int threads,
+                         int batch) {
+  const RoutingProblem& p = *context_for(idx).problem;
+  router::IdRouterOptions opt = p.params().router;
+  opt.threads = threads;
+  opt.speculate_batch = batch;
+  const router::IdRouter router(p.grid(), p.nss(), opt);
+
+  router::RoutingStats stats;
+  double wl = 0.0, cpu_s = 0.0;
+  for (auto _ : state) {
+    const double cpu0 = cpu_seconds();
+    const router::RoutingResult res = router.route(p.router_nets());
+    cpu_s = cpu_seconds() - cpu0;
+    stats = res.stats;
+    wl = res.total_wirelength_um;
+    benchmark::DoNotOptimize(res);
+  }
+
+  state.counters["nets"] = static_cast<double>(p.net_count());
+  state.counters["cpu_s"] = cpu_s;
+  state.counters["wirelength_um"] = wl;
+  spec_counters(state, static_cast<double>(stats.spec_attempted),
+                static_cast<double>(stats.spec_committed),
+                static_cast<double>(stats.spec_replayed));
+}
+
+/// Phase III pass 1 (eliminate violations), serial vs speculative, on the
+/// cached Phase II state of the class's GSINO flow. The refined states are
+/// bit-identical across arms.
+void BM_SpeculativeRefine(benchmark::State& state, std::size_t idx,
+                          int threads, int batch) {
+  ClassContext& ctx = context_for(idx);
+  const LocalRefiner refiner(*ctx.problem);
+  RefineOptions opt;
+  opt.threads = threads;
+  opt.speculate_batch = batch;
+
+  RefineStats stats;
+  double cpu_s = 0.0;
+  std::size_t violations_in = 0, violations_out = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FlowState fs = ctx.session->state(FlowKind::kGsino);  // cached artifacts
+    violations_in = fs.violating;
+    state.ResumeTiming();
+    const double cpu0 = cpu_seconds();
+    refiner.eliminate_violations(fs, stats, opt);
+    cpu_s = cpu_seconds() - cpu0;
+    fs.refresh_noise();
+    violations_out = fs.violating;
+    benchmark::DoNotOptimize(fs);
+  }
+
+  state.counters["nets"] = static_cast<double>(ctx.problem->net_count());
+  state.counters["cpu_s"] = cpu_s;
+  state.counters["violations_in"] = static_cast<double>(violations_in);
+  state.counters["violations_out"] = static_cast<double>(violations_out);
+  spec_counters(state, static_cast<double>(stats.spec_attempted),
+                static_cast<double>(stats.spec_committed),
+                static_cast<double>(stats.spec_replayed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& suite = classes();
+  struct Arm {
+    const char* tag;
+    int threads, batch;
+  };
+  // serial = the exact serial path (speculation off); spec = the default
+  // batch width across a 4-way pool.
+  constexpr Arm kArms[] = {{"serial", 1, 1}, {"spec", 4, 8}};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (const Arm& arm : kArms) {
+      benchmark::RegisterBenchmark(
+          ("BM_SpeculativeRoute/" + suite[i].name + "/" + arm.tag).c_str(),
+          BM_SpeculativeRoute, i, arm.threads, arm.batch)
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(
+          ("BM_SpeculativeRefine/" + suite[i].name + "/" + arm.tag).c_str(),
+          BM_SpeculativeRefine, i, arm.threads, arm.batch)
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Build-type provenance stamp for the JSON-producing (trajectory)
+// benches. google-benchmark's own `library_build_type` context field
+// records how the *benchmark library* was compiled — on boxes with a
+// debug-built system/conda libbenchmark it says "debug" even when the
+// code under test is a full Release build. Since what is timed is the
+// rlcr library, every trajectory bench includes this header to stamp
+// `app_build_type` — the NDEBUG state of this translation unit, which
+// follows CMAKE_BUILD_TYPE — into the context block.
+// tools/merge_bench.py keys its debug-entry rejection on this field
+// (falling back to library_build_type when absent), so a Debug app
+// build can never enter BENCH_router.json. See bench/README.md
+// ("Build-type provenance").
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+const struct AppBuildTypeContext {
+  AppBuildTypeContext() {
+#ifdef NDEBUG
+    benchmark::AddCustomContext("app_build_type", "release");
+#else
+    benchmark::AddCustomContext("app_build_type", "debug");
+#endif
+  }
+} app_build_type_context;
+
+}  // namespace

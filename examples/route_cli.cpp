@@ -20,6 +20,7 @@
 //
 // Prints the flow summary (violations, wire length, shields, routing area)
 // and optionally dumps per-net noise to CSV (--noise-csv out.csv).
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,6 +31,7 @@
 #include "netlist/ispd98.h"
 #include "netlist/ispd98_synth.h"
 #include "netlist/placement.h"
+#include "router/route_types.h"
 #include "store/artifact_store.h"
 #include "util/csv.h"
 
@@ -56,6 +58,7 @@ struct CliOptions {
   int grid_x = 64, grid_y = 64;
   int cap_h = 20, cap_v = 18;
   int threads = 0;  // 0 = auto; results are identical at any value
+  bool fingerprint = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -86,7 +89,10 @@ struct CliOptions {
       "                           routing/budgeting, publish after — a second\n"
       "                           invocation on the same circuit skips Phase I\n"
       "  --store-max-bytes N      store LRU size budget (default 256 MiB)\n"
-      "  --noise-csv FILE         dump per-net LSK/noise\n",
+      "  --noise-csv FILE         dump per-net LSK/noise\n"
+      "  --fingerprint            print a deterministic route/state hash per\n"
+      "                           flow — identical at any --threads value\n"
+      "                           (CI's multi-thread smoke asserts this)\n",
       argv0);
   std::exit(2);
 }
@@ -99,7 +105,29 @@ bool parse_pair(const char* s, double& a, double& b) {
   return a > 0 && b > 0;
 }
 
-void report(const FlowResult& fr, const RoutingProblem& problem) {
+/// FNV-1a over the flow's final per-net state (LSK/noise bit patterns,
+/// shields, violation counts): one u64 that moves iff the output moved.
+/// Deterministic across --threads values by the src/parallel and
+/// parallel/speculate.h contracts — CI's multi-thread smoke pins the
+/// printed value against a threads=1 run.
+std::uint64_t state_fingerprint(const FlowResult& fr) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (double v : fr.net_lsk()) mix(std::bit_cast<std::uint64_t>(v));
+  for (double v : fr.net_noise()) mix(std::bit_cast<std::uint64_t>(v));
+  mix(std::bit_cast<std::uint64_t>(fr.total_shields));
+  mix(fr.violating);
+  mix(fr.unfixable);
+  return h;
+}
+
+void report(const FlowResult& fr, const RoutingProblem& problem,
+            bool fingerprint) {
   std::printf(
       "%-6s @ %.2f V | violations %5zu / %zu | avg WL %7.1f um | "
       "shields %7.0f | area %.0f x %.0f um | route %.1fs sino %.1fs "
@@ -108,6 +136,12 @@ void report(const FlowResult& fr, const RoutingProblem& problem) {
       fr.avg_wirelength_um, fr.total_shields, fr.area.width_um,
       fr.area.height_um, fr.timing.route_s, fr.timing.sino_s,
       fr.timing.refine_s);
+  if (fingerprint) {
+    std::printf("fingerprint %s @ %.2f: route=%016llx state=%016llx\n",
+                fr.name.c_str(), fr.bound_v,
+                static_cast<unsigned long long>(router::route_hash(fr.routing())),
+                static_cast<unsigned long long>(state_fingerprint(fr)));
+  }
 }
 
 }  // namespace
@@ -167,6 +201,8 @@ int main(int argc, char** argv) {
       opt.store_max_bytes = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--noise-csv")) {
       opt.noise_csv = next();
+    } else if (!std::strcmp(argv[i], "--fingerprint")) {
+      opt.fingerprint = true;
     } else {
       usage(argv[0]);
     }
@@ -277,14 +313,14 @@ int main(int argc, char** argv) {
   for (FlowKind kind : kinds) {
     if (opt.sweep_bounds.empty()) {
       last = session.run(kind);
-      report(last, problem);
+      report(last, problem, opt.fingerprint);
       continue;
     }
     for (double bound : opt.sweep_bounds) {
       Scenario scenario;
       scenario.bound_v = bound;
       last = session.run(kind, scenario);
-      report(last, problem);
+      report(last, problem, opt.fingerprint);
     }
   }
   const StageCounters& c = session.counters();

@@ -40,6 +40,11 @@ const char* stage_name(Stage stage) {
   return "?";
 }
 
+std::uint64_t region_resolve_seed(const RoutingProblem& p,
+                                  std::size_t sol_index) {
+  return p.params().seed ^ (sol_index * 131071u);
+}
+
 BudgetRule budget_rule(FlowKind kind) {
   switch (kind) {
     case FlowKind::kIdNo:
@@ -92,10 +97,6 @@ RegionSolution build_region(const RoutingProblem& problem,
   return sol;
 }
 
-/// The historical per-region annealing stream seed of Phase III re-solves.
-std::uint64_t resolve_seed(const RoutingProblem& p, std::size_t sol_index) {
-  return p.params().seed ^ (sol_index * 131071u);
-}
 
 // LRU bookkeeping over the per-stage cache vectors: recency order with the
 // back most recent. A hit rotates its entry to the back; an insert beyond
@@ -161,7 +162,7 @@ void FlowState::resolve_region(std::size_t sol_idx, bool allow_anneal) {
     const sino::SinoEvaluator check_eval(sol.instance, keff);
     if (!check_eval.check(slots).feasible()) {
       sino::AnnealOptions ao;
-      ao.seed = resolve_seed(p, sol_idx);
+      ao.seed = region_resolve_seed(p, sol_idx);
       ao.iterations = p.params().anneal_iterations;
       auto best = sino::solve_anneal(sol.instance, keff, ao);
       if (best.feasible) slots = std::move(best.slots);
@@ -189,7 +190,7 @@ void FlowState::resolve_regions(const std::vector<std::size_t>& sol_indices,
     items[k].instance = &sol.instance;
     items[k].mode = allow_anneal ? sino::SinoSolveMode::kGreedyAnneal
                                  : sino::SinoSolveMode::kGreedy;
-    items[k].anneal_seed = resolve_seed(p, sol_indices[k]);
+    items[k].anneal_seed = region_resolve_seed(p, sol_indices[k]);
     items[k].anneal_iterations = p.params().anneal_iterations;
   }
   sino::SinoBatchOptions bopt;
@@ -335,6 +336,9 @@ std::shared_ptr<const RoutingArtifact> FlowSession::route(
   art->seconds = watch.seconds();
 
   ++counters_.route_executed;
+  counters_.route_spec_attempted += art->routing->stats.spec_attempted;
+  counters_.route_spec_committed += art->routing->stats.spec_committed;
+  counters_.route_spec_replayed += art->routing->stats.spec_replayed;
   lru_insert(route_cache_, RouteEntry{options, art}, options_.cache_entries);
   if (options_.store) options_.store->put_routing(store_key, *art);
   emit(Stage::kRoute, kind, art->seconds, /*reused=*/false);
@@ -445,6 +449,36 @@ std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_regions(
   }
 
   const RoutingProblem& p = *problem_;
+
+  // Store consult (see route()). The solve keys on the routing + budget
+  // records it was derived from, mirroring the in-memory cache's pointer
+  // identity with the store's content identity.
+  const BudgetRule rule = budget->rule;
+  const std::uint64_t store_key =
+      options_.store
+          ? store::solve_key(
+                p, kind, anneal, store::routing_key(p, phase1->options),
+                store::budget_key(p, rule, budget->bound_v, budget->margin,
+                                  rule == BudgetRule::kRoutedLength
+                                      ? store::routing_key(p, phase1->options)
+                                      : 0))
+          : 0;
+  if (options_.store) {
+    if (auto art = options_.store->get_region_solve(store_key, p, phase1,
+                                                    budget)) {
+      // Same identity cross-check as route(): a mislabeled record must not
+      // install another flow's region solutions under this (kind, anneal).
+      if (art->kind == kind && art->annealed == anneal) {
+        ++counters_.solve_loaded;
+        lru_insert(solve_cache_,
+                   SolveEntry{kind, anneal, phase1.get(), budget.get(), art},
+                   options_.cache_entries);
+        emit(Stage::kSolveRegions, kind, art->seconds, /*reused=*/true);
+        return art;
+      }
+    }
+  }
+
   util::Stopwatch watch;
   auto art = std::make_shared<RegionSolveArtifact>();
   art->kind = kind;
@@ -530,6 +564,7 @@ std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_regions(
   ++counters_.solve_executed;
   lru_insert(solve_cache_, SolveEntry{kind, anneal, phase1.get(), budget.get(), art},
              options_.cache_entries);
+  if (options_.store) options_.store->put_region_solve(store_key, *art);
   emit(Stage::kSolveRegions, kind, art->seconds, /*reused=*/false);
   return art;
 }
@@ -600,6 +635,9 @@ std::shared_ptr<const RefineArtifact> FlowSession::refine(
   art->seconds = watch.seconds();
 
   ++counters_.refine_executed;
+  counters_.refine_spec_attempted += static_cast<std::size_t>(stats.spec_attempted);
+  counters_.refine_spec_committed += static_cast<std::size_t>(stats.spec_committed);
+  counters_.refine_spec_replayed += static_cast<std::size_t>(stats.spec_replayed);
   lru_insert(refine_cache_, RefineEntry{solve.get(), options.batch_pass2, art},
              options_.cache_entries);
   emit(Stage::kRefine, solve->kind, art->seconds, /*reused=*/false);

@@ -59,6 +59,13 @@ enum class FlowKind { kIdNo, kIsino, kGsino };
 
 const char* flow_name(FlowKind kind);
 
+/// The historical per-region annealing stream seed of Phase III re-solves
+/// (seed ^ sol_index * 131071). Exposed so the speculative refine path
+/// (core/refine.cpp) replicates FlowState::resolve_region's annealing
+/// stream exactly on its snapshot overlays.
+std::uint64_t region_resolve_seed(const RoutingProblem& p,
+                                  std::size_t sol_index);
+
 /// The (region, dir) <-> solution-index packing used by every per-region
 /// container (solutions, congestion shields, batch items): one slot per
 /// direction per region.
@@ -222,6 +229,15 @@ struct RefineStats {
   int pass2_rejected = 0;
   int batch_sweeps = 0;          ///< batched pass-2 sweeps executed
   int batch_regions_resolved = 0;  ///< regions re-solved inside those sweeps
+  /// Pass-1 speculation counters (parallel/speculate.h; see
+  /// RefineOptions::speculate_batch): fix attempts fanned out, memoized
+  /// attempts the serial order applied after read-set validation, and
+  /// invalidated attempts replayed serially. All zero on the serial path;
+  /// they vary with (threads, speculate_batch), so goldens pin the refined
+  /// state, never these.
+  int spec_attempted = 0;
+  int spec_committed = 0;
+  int spec_replayed = 0;
 };
 
 /// Phase III knobs (a refine() option on the session).
@@ -232,9 +248,19 @@ struct RefineOptions {
   /// the sweep visits regions in a different order than the serial pass 2,
   /// so results differ from batch=false (goldens pin batch=false).
   bool batch_pass2 = false;
-  /// Pool participants for batched re-solves. 0 = auto (RLCR_THREADS env
-  /// var, else hardware concurrency); 1 = exact serial path.
-  int threads = 1;
+  /// Pool participants for batched pass-2 re-solves and speculative pass-1
+  /// fix attempts. 0 = auto (RLCR_THREADS env var, else hardware
+  /// concurrency); 1 = exact serial path. Never changes output.
+  int threads = 0;
+  /// Speculative batch width of pass 1: up to this many worst-violator fix
+  /// attempts are evaluated concurrently against a frozen snapshot
+  /// (parallel/speculate.h); the unchanged serial order then applies each
+  /// memoized attempt only after its recorded read set (regions + LSK
+  /// entries) is proven untouched by earlier commits, and replays the rest
+  /// serially. Refined state is bit-identical at every
+  /// (threads, speculate_batch) combination; <= 1 — or an effective thread
+  /// count of 1 — disables speculation (the exact serial path).
+  int speculate_batch = 8;
 };
 
 /// Phase III output: the refined per-region state.
@@ -364,8 +390,16 @@ struct FlowState {
 struct StageCounters {
   std::size_t route_requests = 0, route_executed = 0, route_loaded = 0;
   std::size_t budget_requests = 0, budget_executed = 0, budget_loaded = 0;
-  std::size_t solve_requests = 0, solve_executed = 0;
+  std::size_t solve_requests = 0, solve_executed = 0, solve_loaded = 0;
   std::size_t refine_requests = 0, refine_executed = 0;
+  /// Speculation totals accumulated from the stats of every artifact this
+  /// session computed (parallel/speculate.h): the Phase I deletion loop
+  /// and Phase III pass 1 respectively. Loaded/reused artifacts don't
+  /// advance them — the counters describe work this process performed.
+  std::size_t route_spec_attempted = 0, route_spec_committed = 0,
+              route_spec_replayed = 0;
+  std::size_t refine_spec_attempted = 0, refine_spec_committed = 0,
+              refine_spec_replayed = 0;
 };
 
 /// What-if overrides for a re-entrant run: every field left unset falls
@@ -381,10 +415,10 @@ struct Scenario {
 struct SessionOptions {
   StageObserver observer;
   /// Optional persistent artifact store (store/artifact_store.h). When
-  /// set, route() and budget() consult it on an in-memory cache miss
-  /// before computing — a fresh process warm-starts from artifacts a
-  /// previous session published — and publish freshly computed artifacts
-  /// back. Loaded artifacts are bit-identical to computed ones (the
+  /// set, route(), budget(), and solve_regions() consult it on an
+  /// in-memory cache miss before computing — a fresh process warm-starts
+  /// from artifacts a previous session published — and publish freshly
+  /// computed artifacts back. Loaded artifacts are bit-identical to computed ones (the
   /// store's load path re-derives views through derive_routing_artifact
   /// and verifies the embedded route hash), so downstream stages cannot
   /// tell the difference. Safe to share one store across concurrent
@@ -393,9 +427,9 @@ struct SessionOptions {
   /// Per-stage in-memory artifact cache budget (entries, LRU eviction;
   /// 0 = unbounded). The default is generous — experiment-sized runs
   /// never evict — while a long-lived what-if service can bound its
-  /// footprint; evicted routing/budget artifacts stay reachable through
-  /// `store` (solve/refine artifacts are not auto-published and recompute
-  /// on re-request).
+  /// footprint; evicted routing/budget/solve artifacts stay reachable
+  /// through `store` (refine artifacts are not auto-published and
+  /// recompute on re-request).
   std::size_t cache_entries = 64;
 };
 

@@ -1,0 +1,121 @@
+// Speculative-batch execution over the shared pool.
+//
+// The chunked primitives in parallel_for.h parallelize loops whose
+// iterations are already independent. The two remaining serial walls of
+// the flow — the Phase I deletion loop and Phase III refinement pass 1 —
+// are *inherently sequential*: each step's inputs depend on every earlier
+// step's commits. Speculation parallelizes them anyway without touching
+// the serial semantics, by treating parallel work as *validated
+// memoization*:
+//
+//   1. snapshot — serially pick the k candidates the serial loop is most
+//      likely to process next (top-of-heap edges; worst violating nets)
+//      and record a version stamp for every input each candidate reads.
+//      Nothing mutates between here and the end of step 2, so workers
+//      read a frozen state.
+//   2. evaluate — run the k candidate evaluations concurrently
+//      (speculate() below). Each worker computes a pure function of the
+//      snapshot into its own result slot, using worker-local scratch;
+//      shared state is read-only during the phase, so the evaluations are
+//      race-free by construction.
+//   3. commit / replay — the UNCHANGED serial loop runs on the calling
+//      thread. Where it is about to recompute something a memo holds, it
+//      first re-checks the memo's version stamps against the live
+//      counters: unchanged stamps prove no earlier commit touched any
+//      input, so the memo equals — bit for bit — what the serial code
+//      would compute, and is consumed (committed). A stale memo is
+//      discarded and the value recomputed serially (replayed).
+//
+// Because the serial loop itself decides every commit in its original
+// order and a memo is only consumed when its inputs are provably
+// untouched, the final state is bit-identical to the serial path at every
+// (threads, batch) combination; batch <= 1 or threads <= 1 never builds a
+// snapshot at all and IS the serial path. Mispredicted or invalidated
+// speculation costs wasted worker time, never correctness.
+//
+// See src/parallel/README.md ("Speculative execution") for the contract
+// call sites must uphold, and router/id_router.cpp / core/refine.cpp for
+// the two integrations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace rlcr::parallel {
+
+/// Per-stage speculation counters (surfaced through RoutingStats /
+/// RefineStats / StageCounters). `attempted` counts candidate evaluations
+/// fanned out, `committed` the memos the serial order consumed after
+/// validation, `replayed` the memos invalidated by an earlier commit and
+/// recomputed serially; attempted - committed - replayed were mispredicted
+/// (never requested by the serial order) and silently discarded. The
+/// counters are deterministic for a fixed (threads > 1, batch) because
+/// snapshot selection and validation both run serially; they change with
+/// the knobs, so goldens pin outputs, never these.
+struct SpecStats {
+  std::size_t attempted = 0;
+  std::size_t committed = 0;
+  std::size_t replayed = 0;
+
+  SpecStats& operator+=(const SpecStats& o) {
+    attempted += o.attempted;
+    committed += o.committed;
+    replayed += o.replayed;
+    return *this;
+  }
+};
+
+/// Fan one speculative batch out: eval(i, worker) for i in [0, k), one
+/// item per chunk so distinct candidates never serialize behind each
+/// other. eval must only read snapshot state and write slot i (plus
+/// worker-local scratch) — the parallel_for contract makes the worker id
+/// scratch-only. threads <= 1 degenerates to the serial loop (callers gate
+/// speculation off before paying for a snapshot in that case).
+template <typename Eval>
+void speculate(std::size_t k, int threads, Eval&& eval) {
+  parallel_for(k, /*grain=*/1, threads,
+               [&](std::size_t begin, std::size_t end, int worker) {
+                 for (std::size_t i = begin; i < end; ++i) eval(i, worker);
+               });
+}
+
+/// Read-set recorder for snapshot validation: (key, version) pairs taken
+/// while the snapshot is frozen, checked against the live version counters
+/// at commit time. Keys are caller-defined (a region index, a net index —
+/// disambiguated by which ReadSet they live in). Duplicate keys record
+/// once: versions cannot move during the evaluation phase, so the first
+/// observation is THE snapshot version.
+class ReadSet {
+ public:
+  void record(std::uint64_t key, std::uint32_t version) {
+    for (const auto& kv : reads_) {
+      if (kv.first == key) return;
+    }
+    reads_.emplace_back(key, version);
+  }
+
+  /// True iff every recorded input is still at its snapshot version —
+  /// i.e. no commit since the snapshot touched anything this speculation
+  /// read, so its result is bit-identical to a serial recompute.
+  template <typename VersionOf>
+  bool valid(VersionOf&& version_of) const {
+    for (const auto& [key, version] : reads_) {
+      if (version_of(key) != version) return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>>& entries() const {
+    return reads_;
+  }
+  void clear() { reads_.clear(); }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> reads_;
+};
+
+}  // namespace rlcr::parallel

@@ -113,10 +113,20 @@ struct IdRouterOptions {
   /// var, else hardware concurrency); 1 = the exact serial path. Output is
   /// bit-identical at every value: chunking is a pure function of the net
   /// count, and shared-stats accumulation is replayed in net order by the
-  /// ordered reducer. The deletion loop itself stays serial (it is
-  /// inherently sequential — each pop re-weighs against the stats every
-  /// earlier pop updated).
+  /// ordered reducer. The deletion loop commits serially; with
+  /// `speculate_batch` > 1 its BFS verdicts and weights are precomputed
+  /// speculatively across the pool (parallel/speculate.h).
   int threads = 0;
+  /// Speculative batch width of the deletion loop: up to this many
+  /// top-of-heap candidates have their deletability BFS (+ certified pin
+  /// paths) and Eq. (2) weight evaluated concurrently against a frozen
+  /// snapshot; the unchanged serial commit order then consumes each memo
+  /// only after version counters prove no earlier commit touched its
+  /// inputs, and recomputes the rest serially. Routes are therefore
+  /// bit-identical at every (threads, speculate_batch) combination;
+  /// <= 1 — or threads == 1 — disables speculation entirely (the exact
+  /// serial path). Like `threads`, never part of the routing profile.
+  int speculate_batch = 8;
 
  private:
   /// The single enumeration behind both profile_tie() overloads below.

@@ -69,6 +69,15 @@ struct RoutingStats {
   std::size_t edges_locked = 0;
   std::size_t reinserts = 0;
   std::size_t prerouted_nets = 0;
+  /// Deletion-loop speculation counters (parallel/speculate.h; see
+  /// IdRouterOptions::speculate_batch): BFS-bound candidates fanned out,
+  /// memoized verdicts the serial commit order consumed after validation,
+  /// and invalidated memos recomputed serially. All zero on the serial
+  /// path; like runtime_s they vary with the run configuration and are
+  /// never part of route_hash().
+  std::size_t spec_attempted = 0;
+  std::size_t spec_committed = 0;
+  std::size_t spec_replayed = 0;
   double runtime_s = 0.0;
 };
 

@@ -205,6 +205,9 @@ std::vector<std::uint8_t> save(const gsino::RoutingArtifact& art) {
   w.u64(routing.stats.edges_locked);
   w.u64(routing.stats.reinserts);
   w.u64(routing.stats.prerouted_nets);
+  w.u64(routing.stats.spec_attempted);
+  w.u64(routing.stats.spec_committed);
+  w.u64(routing.stats.spec_replayed);
   w.f64(routing.stats.runtime_s);
   w.f64(art.seconds);
   w.u64(router::route_hash(routing));  // the load-fidelity oracle
@@ -304,6 +307,9 @@ std::shared_ptr<const gsino::RoutingArtifact> load_routing(
   routing->stats.edges_locked = static_cast<std::size_t>(r.u64());
   routing->stats.reinserts = static_cast<std::size_t>(r.u64());
   routing->stats.prerouted_nets = static_cast<std::size_t>(r.u64());
+  routing->stats.spec_attempted = static_cast<std::size_t>(r.u64());
+  routing->stats.spec_committed = static_cast<std::size_t>(r.u64());
+  routing->stats.spec_replayed = static_cast<std::size_t>(r.u64());
   routing->stats.runtime_s = r.f64();
   const double seconds = r.f64();
   const std::uint64_t saved_hash = r.u64();

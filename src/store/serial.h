@@ -36,7 +36,11 @@
 
 namespace rlcr::store {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: RoutingStats gained the deletion-loop speculation counters
+/// (spec_attempted/committed/replayed). A version bump — not an optional
+/// tail — keeps the "any validation failure loads as null" rule simple:
+/// v1 records are treated as misses and recompute.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 enum class ArtifactType : std::uint32_t {
   kRouting = 1,

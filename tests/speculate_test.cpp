@@ -1,0 +1,415 @@
+// Speculative-batch execution (parallel/speculate.h) and its two
+// integrations: the Phase I deletion loop and Phase III refinement pass 1.
+// The contract under test is bit-identity — speculation is validated
+// memoization, so the routed / refined state must equal the serial path's
+// at every (threads, speculate_batch) combination, with threads == 1 or
+// batch <= 1 being the exact serial path (and zero speculation counters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/refine.h"
+#include "core/session.h"
+#include "grid/region_grid.h"
+#include "parallel/speculate.h"
+#include "router/id_router.h"
+#include "router/route_types.h"
+#include "sino/nss.h"
+#include "util/indexed_heap.h"
+#include "util/rng.h"
+
+namespace rlcr {
+namespace {
+
+// ------------------------------------------------------------- primitives
+
+TEST(SpecStats, AccumulateAcrossStages) {
+  parallel::SpecStats a{.attempted = 5, .committed = 3, .replayed = 1};
+  parallel::SpecStats b{.attempted = 2, .committed = 1, .replayed = 1};
+  a += b;
+  EXPECT_EQ(a.attempted, 7u);
+  EXPECT_EQ(a.committed, 4u);
+  EXPECT_EQ(a.replayed, 2u);
+}
+
+TEST(ReadSet, FirstObservationIsTheSnapshotVersion) {
+  parallel::ReadSet rs;
+  rs.record(7, 1);
+  rs.record(9, 4);
+  rs.record(7, 99);  // duplicate key: versions cannot move mid-snapshot,
+                     // so the first recording stands
+  ASSERT_EQ(rs.entries().size(), 2u);
+  EXPECT_EQ(rs.entries()[0], (std::pair<std::uint64_t, std::uint32_t>{7, 1}));
+  EXPECT_EQ(rs.entries()[1], (std::pair<std::uint64_t, std::uint32_t>{9, 4}));
+}
+
+TEST(ReadSet, ValidIffEveryInputIsUntouched) {
+  parallel::ReadSet rs;
+  rs.record(1, 10);
+  rs.record(2, 20);
+  std::vector<std::uint32_t> live{0, 10, 20};
+  const auto version_of = [&](std::uint64_t key) {
+    return live[static_cast<std::size_t>(key)];
+  };
+  EXPECT_TRUE(rs.valid(version_of));
+  live[2] = 21;  // one commit touched one recorded input
+  EXPECT_FALSE(rs.valid(version_of));
+
+  rs.clear();
+  EXPECT_TRUE(rs.entries().empty());
+  EXPECT_TRUE(rs.valid(version_of));  // empty read set is vacuously valid
+}
+
+TEST(Speculate, EvaluatesEverySlotExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<int> hits(37, 0);
+    std::vector<std::size_t> slot(37, 0);
+    parallel::speculate(hits.size(), threads, [&](std::size_t i, int worker) {
+      ++hits[i];       // slot i is owned by this evaluation
+      slot[i] = i * i; // results land in caller-visible memo slots
+      (void)worker;
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "i=" << i << " threads=" << threads;
+      ASSERT_EQ(slot[i], i * i);
+    }
+  }
+}
+
+// The non-mutating candidate predictor the router's snapshot phase uses.
+TEST(IndexedMaxHeap, TopKMatchesPopOrderWithoutMutating) {
+  util::IndexedMaxHeap heap(64);
+  util::Xoshiro256 rng(3);
+  for (std::int32_t id = 0; id < 64; ++id) {
+    heap.push(id, rng.uniform(0.0, 10.0));
+  }
+  // Inject ties so the (key, id) tiebreak is exercised.
+  heap.update(11, 5.0);
+  heap.update(29, 5.0);
+  heap.update(3, 5.0);
+
+  const auto predicted = heap.top_k(10);
+  ASSERT_EQ(predicted.size(), 10u);
+  EXPECT_EQ(heap.size(), 64u);  // prediction never mutates the heap
+
+  // The prediction IS the pop order: popping the same heap afterwards
+  // yields the same (key, id) sequence.
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const auto [id, key] = heap.pop();
+    EXPECT_EQ(predicted[i].id, id) << "rank " << i;
+    EXPECT_EQ(predicted[i].key, key) << "rank " << i;
+  }
+}
+
+TEST(IndexedMaxHeap, TopKClampsToSizeAndHandlesEmpty) {
+  util::IndexedMaxHeap heap(8);
+  EXPECT_TRUE(heap.top_k(4).empty());
+  heap.push(0, 1.0);
+  heap.push(1, 3.0);
+  const auto all = heap.top_k(100);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].id, 1);
+  EXPECT_EQ(all[1].id, 0);
+  EXPECT_TRUE(heap.top_k(0).empty());
+}
+
+// ---------------------------------------------- Phase I: deletion loop
+
+grid::RegionGrid spec_grid(std::int32_t side = 12, int cap = 8) {
+  grid::RegionGridSpec s;
+  s.cols = side;
+  s.rows = side;
+  s.region_w_um = 20.0;
+  s.region_h_um = 25.0;
+  s.h_capacity = cap;
+  s.v_capacity = cap;
+  return grid::RegionGrid(s);
+}
+
+std::vector<router::RouterNet> spec_nets(const grid::RegionGrid& g,
+                                         std::size_t count,
+                                         std::uint64_t seed,
+                                         std::int32_t spread = 4) {
+  util::Xoshiro256 rng(seed);
+  std::vector<router::RouterNet> nets(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nets[i].id = static_cast<std::int32_t>(i);
+    nets[i].si = 0.3;
+    const auto cx =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(g.cols())));
+    const auto cy =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(g.rows())));
+    const std::size_t degree = 2 + rng.below(3);
+    for (std::size_t p = 0; p < degree; ++p) {
+      geom::Point pt{
+          std::clamp(cx + static_cast<std::int32_t>(rng.range(-spread, spread)),
+                     0, g.cols() - 1),
+          std::clamp(cy + static_cast<std::int32_t>(rng.range(-spread, spread)),
+                     0, g.rows() - 1)};
+      if (std::find(nets[i].pins.begin(), nets[i].pins.end(), pt) ==
+          nets[i].pins.end()) {
+        nets[i].pins.push_back(pt);
+      }
+    }
+    if (nets[i].pins.size() < 2) {
+      nets[i].pins.push_back(
+          geom::Point{(cx + 1) % g.cols(), (cy + 1) % g.rows()});
+    }
+  }
+  return nets;
+}
+
+router::RoutingResult route_at(const grid::RegionGrid& g,
+                               const std::vector<router::RouterNet>& nets,
+                               int threads, int batch) {
+  router::IdRouterOptions opt;
+  opt.threads = threads;
+  opt.speculate_batch = batch;
+  const sino::NssModel nss;
+  const router::IdRouter router(g, nss, opt);
+  return router.route(nets);
+}
+
+TEST(SpeculativeRoute, BitIdenticalAcrossThreadsAndBatchWidths) {
+  const grid::RegionGrid g = spec_grid();
+  const auto nets = spec_nets(g, 120, 5);
+
+  const router::RoutingResult serial = route_at(g, nets, 1, 8);
+  const std::uint64_t golden = router::route_hash(serial);
+  EXPECT_EQ(serial.stats.spec_attempted, 0u);  // threads == 1: serial path
+  EXPECT_EQ(serial.stats.spec_committed, 0u);
+  EXPECT_EQ(serial.stats.spec_replayed, 0u);
+
+  for (int threads : {2, 8}) {
+    for (int batch : {1, 4, 16}) {
+      const router::RoutingResult res = route_at(g, nets, threads, batch);
+      EXPECT_EQ(router::route_hash(res), golden)
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(res.total_wirelength_um, serial.total_wirelength_um);
+      EXPECT_EQ(res.stats.edges_deleted, serial.stats.edges_deleted);
+      EXPECT_EQ(res.stats.edges_locked, serial.stats.edges_locked);
+      if (batch <= 1) {
+        EXPECT_EQ(res.stats.spec_attempted, 0u);  // batch <= 1: serial path
+      } else {
+        EXPECT_GT(res.stats.spec_attempted, 0u)
+            << "threads=" << threads << " batch=" << batch;
+        // Every consumed memo was either committed or replayed; the rest
+        // were mispredictions, so consumed never exceeds attempted.
+        EXPECT_LE(res.stats.spec_committed + res.stats.spec_replayed,
+                  res.stats.spec_attempted);
+        EXPECT_GT(res.stats.spec_committed, 0u);
+      }
+    }
+  }
+}
+
+TEST(SpeculativeRoute, CountersAreDeterministicForFixedKnobs) {
+  const grid::RegionGrid g = spec_grid();
+  const auto nets = spec_nets(g, 80, 9);
+  const router::RoutingResult a = route_at(g, nets, 2, 8);
+  const router::RoutingResult b = route_at(g, nets, 2, 8);
+  EXPECT_EQ(a.stats.spec_attempted, b.stats.spec_attempted);
+  EXPECT_EQ(a.stats.spec_committed, b.stats.spec_committed);
+  EXPECT_EQ(a.stats.spec_replayed, b.stats.spec_replayed);
+}
+
+TEST(SpeculativeRoute, ConflictingCandidatesAreReplayedNotCorrupted) {
+  // Force intra-batch conflicts: a handful of nets with big overlapping
+  // boxes means consecutive top-of-heap candidates routinely belong to the
+  // same net, so a commit invalidates the memos speculated for its
+  // siblings (net_touch moved) and the serial order must replay them.
+  const grid::RegionGrid g = spec_grid(10, 4);
+  const auto nets = spec_nets(g, 6, 21, /*spread=*/8);
+
+  const router::RoutingResult serial = route_at(g, nets, 1, 1);
+  const router::RoutingResult spec = route_at(g, nets, 2, 16);
+
+  EXPECT_GT(spec.stats.spec_replayed, 0u) << "fixture never conflicted";
+  EXPECT_EQ(router::route_hash(spec), router::route_hash(serial));
+  EXPECT_EQ(spec.total_wirelength_um, serial.total_wirelength_um);
+}
+
+// ------------------------------------------- Phase III: refine pass 1
+
+/// A congested little problem that reliably leaves Phase II with
+/// violations for pass 1 to work on (mirrors the refiner tests' fixture).
+struct RefineFixture {
+  netlist::SyntheticSpec spec;
+  netlist::Netlist design;
+  gsino::GsinoParams params;
+
+  RefineFixture() : spec(netlist::tiny_spec(500, 77)) {
+    spec.grid_cols = 14;
+    spec.grid_rows = 14;
+    spec.chip_w_um = 700.0;
+    spec.chip_h_um = 700.0;
+    spec.h_capacity = 12;
+    spec.v_capacity = 12;
+    spec.local_sigma_regions = 2.5;
+    design = netlist::generate(spec);
+    params.sensitivity_rate = 0.5;
+  }
+
+  gsino::RoutingProblem problem() const {
+    return gsino::make_problem(design, spec, params);
+  }
+};
+
+void expect_states_identical(const gsino::FlowState& a,
+                             const gsino::FlowState& b, int threads,
+                             int batch) {
+  EXPECT_EQ(a.violating, b.violating) << "threads=" << threads
+                                      << " batch=" << batch;
+  EXPECT_EQ(a.unfixable, b.unfixable);
+  EXPECT_EQ(a.congestion->total_shields(), b.congestion->total_shields());
+  ASSERT_EQ(a.net_lsk.size(), b.net_lsk.size());
+  for (std::size_t n = 0; n < a.net_lsk.size(); ++n) {
+    ASSERT_EQ(a.net_lsk[n], b.net_lsk[n])
+        << "net " << n << " threads=" << threads << " batch=" << batch;
+    ASSERT_EQ(a.net_noise[n], b.net_noise[n]) << "net " << n;
+  }
+  ASSERT_EQ(a.solutions.size(), b.solutions.size());
+  for (std::size_t si = 0; si < a.solutions.size(); ++si) {
+    ASSERT_EQ(a.solutions[si].slots, b.solutions[si].slots) << "sol " << si;
+    ASSERT_EQ(a.solutions[si].ki, b.solutions[si].ki) << "sol " << si;
+  }
+}
+
+TEST(SpeculativeRefine, Pass1BitIdenticalAcrossThreadsAndBatchWidths) {
+  const RefineFixture fx;
+  const gsino::RoutingProblem problem = fx.problem();
+  gsino::FlowSession session(problem);
+  const gsino::LocalRefiner refiner(problem);
+
+  gsino::FlowState serial = session.state(gsino::FlowKind::kGsino);
+  ASSERT_GT(serial.violating, 0u) << "fixture leaves pass 1 nothing to do";
+  gsino::RefineStats serial_stats;
+  gsino::RefineOptions serial_opt;
+  serial_opt.threads = 1;
+  refiner.eliminate_violations(serial, serial_stats, serial_opt);
+  serial.refresh_noise();
+  EXPECT_EQ(serial_stats.spec_attempted, 0);  // threads == 1: serial path
+  EXPECT_EQ(serial_stats.spec_committed, 0);
+  EXPECT_EQ(serial_stats.spec_replayed, 0);
+
+  for (int threads : {2, 8}) {
+    for (int batch : {1, 4, 16}) {
+      gsino::FlowState fs = session.state(gsino::FlowKind::kGsino);
+      gsino::RefineStats stats;
+      gsino::RefineOptions opt;
+      opt.threads = threads;
+      opt.speculate_batch = batch;
+      refiner.eliminate_violations(fs, stats, opt);
+      fs.refresh_noise();
+
+      expect_states_identical(serial, fs, threads, batch);
+      EXPECT_EQ(stats.pass1_nets_fixed, serial_stats.pass1_nets_fixed);
+      EXPECT_EQ(stats.pass1_resolves, serial_stats.pass1_resolves);
+      EXPECT_EQ(stats.pass1_gave_up, serial_stats.pass1_gave_up);
+      if (batch <= 1) {
+        EXPECT_EQ(stats.spec_attempted, 0);
+      } else {
+        EXPECT_GT(stats.spec_attempted, 0)
+            << "threads=" << threads << " batch=" << batch;
+        EXPECT_LE(stats.spec_committed + stats.spec_replayed,
+                  stats.spec_attempted);
+        EXPECT_GT(stats.spec_committed, 0);
+      }
+    }
+  }
+}
+
+TEST(SpeculativeRefine, ConflictingAttemptsAreReplayedNotCorrupted) {
+  // Violating nets in a congested fixture share regions, so within a wide
+  // batch the worst attempt's commit moves region/LSK versions other
+  // attempts recorded — their memos must be replayed, and the refined
+  // state must still equal the serial pass bit for bit. A small hot grid
+  // with high sensitivity maximizes the overlap pressure.
+  RefineFixture fx;
+  fx.spec.grid_cols = 8;
+  fx.spec.grid_rows = 8;
+  fx.spec.chip_w_um = 400.0;
+  fx.spec.chip_h_um = 400.0;
+  fx.params.sensitivity_rate = 0.9;
+  fx.design = netlist::generate(fx.spec);
+  const gsino::RoutingProblem problem = fx.problem();
+  gsino::FlowSession session(problem);
+  const gsino::LocalRefiner refiner(problem);
+
+  gsino::FlowState serial = session.state(gsino::FlowKind::kGsino);
+  gsino::RefineStats serial_stats;
+  gsino::RefineOptions serial_opt;
+  serial_opt.threads = 1;
+  refiner.eliminate_violations(serial, serial_stats, serial_opt);
+  serial.refresh_noise();
+
+  gsino::FlowState fs = session.state(gsino::FlowKind::kGsino);
+  gsino::RefineStats stats;
+  gsino::RefineOptions opt;
+  opt.threads = 2;
+  opt.speculate_batch = 16;
+  refiner.eliminate_violations(fs, stats, opt);
+  fs.refresh_noise();
+
+  EXPECT_GT(stats.spec_replayed, 0) << "fixture never conflicted";
+  expect_states_identical(serial, fs, 2, 16);
+}
+
+TEST(SpeculativeRefine, FullRefineMatchesSerialThroughRefineEntry) {
+  // End to end through refine() (pass 1 + pass 2): speculation in pass 1
+  // must not leak differences into pass 2's input.
+  const RefineFixture fx;
+  const gsino::RoutingProblem problem = fx.problem();
+  gsino::FlowSession session(problem);
+  const gsino::LocalRefiner refiner(problem);
+
+  gsino::FlowState a = session.state(gsino::FlowKind::kGsino);
+  gsino::FlowState b = session.state(gsino::FlowKind::kGsino);
+  gsino::RefineOptions serial_opt;
+  serial_opt.threads = 1;
+  gsino::RefineOptions spec_opt;
+  spec_opt.threads = 8;
+  spec_opt.speculate_batch = 8;
+  const gsino::RefineStats sa = refiner.refine(a, serial_opt);
+  const gsino::RefineStats sb = refiner.refine(b, spec_opt);
+
+  expect_states_identical(a, b, 8, 8);
+  EXPECT_EQ(sa.pass1_nets_fixed, sb.pass1_nets_fixed);
+  EXPECT_EQ(sa.pass2_accepted, sb.pass2_accepted);
+  EXPECT_EQ(sa.pass2_shields_removed, sb.pass2_shields_removed);
+}
+
+// ------------------------------------------------- session counter plumbing
+
+TEST(SpeculativeRoute, SessionSurfacesSpeculationCounters) {
+  const RefineFixture fx;
+  const gsino::RoutingProblem problem = fx.problem();
+  gsino::FlowSession session(problem);
+
+  router::IdRouterOptions ropt = problem.params().router;
+  ropt.threads = 2;
+  const auto phase1 = session.route(ropt, gsino::FlowKind::kGsino);
+  EXPECT_EQ(session.counters().route_spec_attempted,
+            phase1->routing->stats.spec_attempted);
+  EXPECT_GT(session.counters().route_spec_attempted, 0u);
+
+  const auto budget =
+      session.budget(gsino::FlowKind::kGsino, phase1, 0.15, 1.0);
+  const auto solve =
+      session.solve_regions(gsino::FlowKind::kGsino, phase1, budget, false);
+  gsino::RefineOptions fopt;
+  fopt.threads = 2;
+  const auto refined = session.refine(solve, fopt);
+  EXPECT_EQ(session.counters().refine_spec_attempted,
+            static_cast<std::size_t>(refined->stats.spec_attempted));
+  EXPECT_EQ(session.counters().refine_spec_committed +
+                session.counters().refine_spec_replayed <=
+            session.counters().refine_spec_attempted,
+            true);
+}
+
+}  // namespace
+}  // namespace rlcr

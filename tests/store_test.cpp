@@ -248,11 +248,14 @@ TEST(ArtifactStore, WarmStartsAFreshSessionWithPhaseISkipped) {
   FlowSession session(p, std::move(sopt));
   const FlowResult warm = session.run(FlowKind::kGsino);
 
-  // Stage counters prove Phase I (and budgeting) never executed.
+  // Stage counters prove Phase I, budgeting, and the Phase II region
+  // solve never executed — the warm session replays entirely from disk.
   EXPECT_EQ(session.counters().route_executed, 0u);
   EXPECT_EQ(session.counters().route_loaded, 1u);
   EXPECT_EQ(session.counters().budget_executed, 0u);
   EXPECT_EQ(session.counters().budget_loaded, 1u);
+  EXPECT_EQ(session.counters().solve_executed, 0u);
+  EXPECT_EQ(session.counters().solve_loaded, 1u);
 
   // And the result is bit-identical to the cold run.
   EXPECT_EQ(router::route_hash(warm.routing()), router::route_hash(cold.routing()));
@@ -273,9 +276,10 @@ TEST(ArtifactStore, WarmStartsAFreshSessionWithPhaseISkipped) {
 }
 
 TEST(ArtifactStore, RegionSolveRecordsRoundTripThroughTheStore) {
-  // The typed region-solve layer (solve_key + put/get_region_solve) is the
-  // checkpoint API for callers whose Phase II dominates; the session does
-  // not auto-publish these, so cover the store path directly.
+  // The typed region-solve layer (solve_key + put/get_region_solve) is
+  // both the session's auto-publish channel and a checkpoint API for
+  // callers driving the store directly; cover the direct path here with a
+  // store-less session supplying the artifacts.
   const fs::path dir = store_dir("solve_records");
   const Pipeline pipe(0.5);
   const RoutingProblem p = pipe.problem();
@@ -449,6 +453,12 @@ TEST(Session, EvictedArtifactsAreServedBackByTheStore) {
   // the store serves it back instead of a recompute.
   EXPECT_EQ(session.counters().budget_executed, 2u);
   EXPECT_EQ(session.counters().budget_loaded, 1u);
+  // Likewise the 0.15 region solve: solve_regions() auto-published it on
+  // first compute, so the replay loads instead of re-running SINO — even
+  // though the reloaded budget is a different in-memory artifact (the
+  // store keys on content, the LRU cache on pointer identity).
+  EXPECT_EQ(session.counters().solve_executed, 2u);
+  EXPECT_EQ(session.counters().solve_loaded, 1u);
 }
 
 // ------------------------------------------------------------- concurrency

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON files into one perf record.
+
+Usage: merge_bench.py BASE.json EXTRA.json [EXTRA.json ...]
+
+Appends each EXTRA file's `benchmarks` entries to BASE (in place),
+re-indexing `family_index` so it stays unique across the merged file
+(consumers group by it).
+
+Provenance guard: every input's `context` block must come from an
+optimized build of the code under test. The check keys on
+`app_build_type` (stamped by bench/build_type_context.h from the rlcr
+build's own NDEBUG state) and falls back to google-benchmark's
+`library_build_type` when the stamp is absent (pre-stamp files, foreign
+generators). A debug entry is not a perf data point, and merging one
+silently poisons the committed trajectory; the merge fails instead.
+See bench/README.md ("Build-type provenance").
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"merge_bench: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_checked(path: str) -> dict:
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    ctx = data.get("context", {})
+    build = ctx.get("app_build_type") or ctx.get("library_build_type", "")
+    if build != "release":
+        fail(
+            f"{path}: build-type provenance is '{build}', not 'release' "
+            "— rebuild with CMAKE_BUILD_TYPE=Release; debug timings must "
+            "never enter the perf record"
+        )
+    return data
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) < 3:
+        fail("usage: merge_bench.py BASE.json EXTRA.json [EXTRA.json ...]")
+    base_path, extra_paths = argv[1], argv[2:]
+    base = load_checked(base_path)
+    for path in extra_paths:
+        extra = load_checked(path)
+        offset = 1 + max(
+            (b.get("family_index", 0) for b in base["benchmarks"]), default=-1
+        )
+        for b in extra["benchmarks"]:
+            if "family_index" in b:
+                b["family_index"] += offset
+        base["benchmarks"].extend(extra["benchmarks"])
+    with open(base_path, "w") as f:
+        json.dump(base, f, indent=1)
+    print(
+        f"merged {len(extra_paths)} file(s) into {base_path} "
+        f"({len(base['benchmarks'])} entries)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -17,6 +17,10 @@
 //                      (default 1.0 = published sizes). CI's smoke tier
 //                      runs the smallest class at a small scale.
 //   RLCR_ISPD98_DIR    directory with the real ibmNN.netD [.are] files.
+//   RLCR_TRACE_DIR     when set, each BM_Ispd98Session run also records a
+//                      span trace and writes <dir>/trace_<class>.json
+//                      (Chrome trace-event format — see
+//                      docs/OBSERVABILITY.md).
 //
 // Stage peaks use Linux's per-process peak-RSS counter (VmHWM), reset
 // before each stage via /proc/self/clear_refs; on kernels without that
@@ -41,10 +45,14 @@
 #include <malloc.h>
 #endif
 
+#include <filesystem>
+#include <optional>
+
 #include "core/problem.h"
 #include "core/session.h"
 #include "grid/tiled.h"
 #include "netlist/ispd98_synth.h"
+#include "obs/trace.h"
 
 using namespace rlcr;
 using namespace rlcr::gsino;
@@ -157,6 +165,13 @@ void BM_Ispd98Session(benchmark::State& state, std::size_t idx) {
   ClassContext& ctx = context_for(idx);
   const RoutingProblem& problem = *ctx.problem;
 
+  // Optional per-class trace (RLCR_TRACE_DIR). The tracing-enabled
+  // contract says outputs are unperturbed, so the recorded counters stay
+  // comparable with untraced runs.
+  const char* trace_dir = std::getenv("RLCR_TRACE_DIR");
+  std::optional<obs::TraceSession> trace;
+  if (trace_dir != nullptr && trace_dir[0] != '\0') trace.emplace();
+
   StageSample route_s, budget_s, solve_s, refine_s;
   std::size_t violating = 0, unfixable = 0;
   double wirelength = 0.0, shields = 0.0, congestion_bytes = 0.0;
@@ -208,6 +223,18 @@ void BM_Ispd98Session(benchmark::State& state, std::size_t idx) {
   state.counters["wirelength_um"] = wirelength;
   state.counters["shields"] = shields;
   state.counters["congestion_bytes"] = congestion_bytes;
+
+  if (trace) {
+    const std::filesystem::path out =
+        std::filesystem::path(trace_dir) / ("trace_" + ctx.spec.name + ".json");
+    std::error_code ec;
+    std::filesystem::create_directories(out.parent_path(), ec);
+    if (trace->write_chrome_trace(out)) {
+      state.counters["trace_spans"] = static_cast<double>(trace->span_count());
+    } else {
+      std::fprintf(stderr, "warning: failed to write %s\n", out.c_str());
+    }
+  }
 }
 
 /// The largest class's fabric carrying every 100th net: the ECO /

@@ -18,11 +18,21 @@
 //   $ ./route_cli --circuit ibm01 --flow gsino --store-dir /tmp/rlcr-store
 //   $ ./route_cli --circuit ibm01 --flow gsino --store-dir /tmp/rlcr-store
 //
+//   # observability: span trace (Perfetto-loadable), metrics registry
+//   # JSON, and an on-terminal profile table (docs/OBSERVABILITY.md)
+//   $ ./route_cli --circuit ibm01 --flow gsino \
+//                 --trace-out trace.json --metrics-out metrics.json --profile
+//
 // Prints the flow summary (violations, wire length, shields, routing area)
 // and optionally dumps per-net noise to CSV (--noise-csv out.csv).
+#include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,9 +41,12 @@
 #include "netlist/ispd98.h"
 #include "netlist/ispd98_synth.h"
 #include "netlist/placement.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "router/route_types.h"
 #include "store/artifact_store.h"
 #include "util/csv.h"
+#include "util/table_printer.h"
 
 using namespace rlcr;
 using namespace rlcr::gsino;
@@ -59,6 +72,9 @@ struct CliOptions {
   int cap_h = 20, cap_v = 18;
   int threads = 0;  // 0 = auto; results are identical at any value
   bool fingerprint = false;
+  std::string trace_out;
+  std::string metrics_out;
+  bool profile = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -92,7 +108,15 @@ struct CliOptions {
       "  --noise-csv FILE         dump per-net LSK/noise\n"
       "  --fingerprint            print a deterministic route/state hash per\n"
       "                           flow — identical at any --threads value\n"
-      "                           (CI's multi-thread smoke asserts this)\n",
+      "                           (CI's multi-thread smoke asserts this)\n"
+      "  --trace-out FILE         record a span trace of the run and write\n"
+      "                           Chrome trace-event JSON (open in Perfetto;\n"
+      "                           RLCR_TRACE=<path> is the env equivalent)\n"
+      "  --metrics-out FILE       write the unified metrics registry (stage\n"
+      "                           counters, store stats, resource gauges) as\n"
+      "                           JSON\n"
+      "  --profile                print a per-span-name profile table\n"
+      "                           (count / total / mean) after the run\n",
       argv0);
   std::exit(2);
 }
@@ -203,6 +227,12 @@ int main(int argc, char** argv) {
       opt.noise_csv = next();
     } else if (!std::strcmp(argv[i], "--fingerprint")) {
       opt.fingerprint = true;
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      opt.trace_out = next();
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      opt.metrics_out = next();
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      opt.profile = true;
     } else {
       usage(argv[0]);
     }
@@ -293,6 +323,26 @@ int main(int argc, char** argv) {
   sopt.store = artifact_store;
   FlowSession session(problem, std::move(sopt));
 
+  // ---- observability: RLCR_TRACE="1" just records (pairs with
+  // --profile); any other non-"0" value doubles as the trace output path.
+  if (opt.trace_out.empty()) {
+    const char* env = std::getenv("RLCR_TRACE");
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0 &&
+        std::strcmp(env, "1") != 0) {
+      opt.trace_out = env;
+    }
+  }
+  std::optional<obs::TraceSession> trace;
+  if (!opt.trace_out.empty() || opt.profile || obs::trace_env_enabled()) {
+    trace.emplace();
+  }
+  std::optional<obs::ResourceSampler> sampler;
+  if (!opt.metrics_out.empty()) {
+    obs::ResourceSamplerOptions ro;
+    ro.store = artifact_store.get();
+    sampler.emplace(ro);
+  }
+
   // ---- run the requested flow(s): one session, so flows with matching
   // router profiles (ID+NO and iSINO) share a Phase I artifact, and a
   // bound sweep re-solves Phase II/III off the cached routing.
@@ -362,6 +412,64 @@ int main(int argc, char** argv) {
                                         last.critical_path_um()[n]});
     }
     std::printf("wrote per-net noise to %s\n", opt.noise_csv.c_str());
+  }
+
+  if (sampler) sampler->stop();
+  if (!opt.metrics_out.empty()) {
+    obs::MetricsSnapshot snap = session.metrics();
+    if (sampler) sampler->append_gauges(snap);
+    if (!snap.write_json(opt.metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   opt.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics registry to %s\n", opt.metrics_out.c_str());
+  }
+  if (trace) {
+    // The flow has quiesced (session.run returned, pool joined), so the
+    // export contract in obs/trace.h holds.
+    if (opt.profile) {
+      struct Agg {
+        std::size_t count = 0;
+        double total_ms = 0.0;
+      };
+      std::map<std::string, Agg> by_name;
+      for (const obs::SpanRecord& s : trace->snapshot()) {
+        Agg& a = by_name[s.name];
+        ++a.count;
+        a.total_ms += static_cast<double>(s.dur_ns) / 1e6;
+      }
+      std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                    by_name.end());
+      std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second.total_ms > b.second.total_ms;
+      });
+      util::TablePrinter table("run profile (span aggregates)");
+      table.set_header({"span", "count", "total ms", "mean ms"});
+      for (const auto& [name, agg] : rows) {
+        table.add_row({name, util::fmt_int(static_cast<long long>(agg.count)),
+                       util::fmt_double(agg.total_ms, 2),
+                       util::fmt_double(agg.total_ms /
+                                            static_cast<double>(agg.count),
+                                        3)});
+      }
+      table.print(std::cout);
+    }
+    if (!opt.trace_out.empty()) {
+      if (!trace->write_chrome_trace(opt.trace_out)) {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     opt.trace_out.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu spans to %s (load in Perfetto or "
+                  "chrome://tracing)\n",
+                  trace->span_count(), opt.trace_out.c_str());
+    }
+    if (trace->dropped() > 0) {
+      std::printf("(%llu spans dropped to ring wraparound — raise "
+                  "TraceOptions::buffer_capacity)\n",
+                  static_cast<unsigned long long>(trace->dropped()));
+    }
   }
   return 0;
 }

@@ -8,9 +8,11 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "parallel/speculate.h"
 #include "parallel/thread_pool.h"
 #include "sino/anneal.h"
+#include "util/stopwatch.h"
 #include "sino/evaluator.h"
 #include "sino/greedy.h"
 
@@ -201,6 +203,7 @@ class SpecView {
   void resolve(std::size_t si) {
     RegionSolution& sol = sol_mut(si);
     if (sol.empty()) return;
+    const util::Stopwatch watch;
     const RoutingProblem& p = *fs_->problem;
     const auto& keff = p.keff();
     ktable::SlotVec slots = sino::solve_greedy(sol.instance, keff);
@@ -231,6 +234,7 @@ class SpecView {
     set_shields(si, static_cast<double>(
                         sino::SinoEvaluator::shield_count(sol.slots)));
     resolve_order_.push_back(si);
+    resolve_seconds_.push_back(watch.seconds());
   }
 
   /// True iff nothing this attempt read was touched by a commit since the
@@ -247,8 +251,9 @@ class SpecView {
 
   /// Install the overlays into the live state and advance the version
   /// counters, emitting the same per-region progress events the serial
-  /// re-solves would have (solver time was spent on a worker, so the
-  /// events carry no duration).
+  /// re-solves would have. Solver time was spent on a worker, so each
+  /// event carries the duration measured there at evaluation time — the
+  /// re-solve really cost that long, just off the committing thread.
   void apply(FlowState& fs, std::vector<std::uint32_t>& sol_ver,
              std::vector<std::uint32_t>& net_ver) {
     for (auto& [si, sol] : sols_) {
@@ -264,8 +269,9 @@ class SpecView {
       fs.congestion->set_shields(sol_region(si), sol_dir(si), v);
     }
     if (fs.observer) {
-      for (const std::size_t si : resolve_order_) {
-        fs.observer(StageEvent{Stage::kRefine, fs.kind, si, 0.0, false});
+      for (std::size_t i = 0; i < resolve_order_.size(); ++i) {
+        fs.observer(StageEvent{Stage::kRefine, fs.kind, resolve_order_[i],
+                               resolve_seconds_[i], false});
       }
     }
   }
@@ -304,6 +310,7 @@ class SpecView {
   std::vector<std::pair<std::size_t, RegionSolution>> sols_;
   std::vector<std::pair<std::size_t, double>> lsk_, noise_, shields_;
   std::vector<std::size_t> resolve_order_;
+  std::vector<double> resolve_seconds_;  ///< parallel to resolve_order_
 };
 
 /// The Fig. 2 pass-1 inner loop for one violating net, verbatim, over a
@@ -390,6 +397,7 @@ RefineStats LocalRefiner::refine(FlowState& fs,
 
 void LocalRefiner::eliminate_violations(FlowState& fs, RefineStats& stats,
                                         const RefineOptions& options) const {
+  RLCR_TRACE_SPAN(pass_span, "refine.pass1", "refine");
   const RoutingProblem& p = *problem_;
   const auto& params = p.params();
   const double lsk_budget = p.lsk_table().lsk_budget(fs.bound_v);
@@ -492,9 +500,13 @@ void LocalRefiner::eliminate_violations(FlowState& fs, RefineStats& stats,
     }
     std::vector<FixOutcome> outs(k);
     stats.spec_attempted += static_cast<int>(k);
-    parallel::speculate(k, threads, [&](std::size_t i, int) {
-      outs[i] = attempt_fix(views[i], cand[i], fs, params, lsk_budget);
-    });
+    {
+      RLCR_TRACE_SPAN(spec_span, "refine.spec_round", "refine");
+      spec_span.arg("batch", static_cast<double>(k));
+      parallel::speculate(k, threads, [&](std::size_t i, int) {
+        outs[i] = attempt_fix(views[i], cand[i], fs, params, lsk_budget);
+      });
+    }
 
     std::vector<char> used(k, 0);
     for (std::size_t step = 0;
@@ -536,6 +548,7 @@ void LocalRefiner::eliminate_violations(FlowState& fs, RefineStats& stats,
 }
 
 void LocalRefiner::reduce_congestion(FlowState& fs, RefineStats& stats) const {
+  RLCR_TRACE_SPAN(pass_span, "refine.pass2", "refine");
   const RoutingProblem& p = *problem_;
   const auto& params = p.params();
   const double lsk_budget = p.lsk_table().lsk_budget(fs.bound_v);
@@ -583,6 +596,7 @@ void LocalRefiner::reduce_congestion(FlowState& fs, RefineStats& stats) const {
 
 void LocalRefiner::reduce_congestion_batched(FlowState& fs, RefineStats& stats,
                                              const RefineOptions& options) const {
+  RLCR_TRACE_SPAN(pass_span, "refine.pass2_batched", "refine");
   const RoutingProblem& p = *problem_;
   const auto& params = p.params();
   const double lsk_budget = p.lsk_table().lsk_budget(fs.bound_v);
@@ -638,6 +652,8 @@ void LocalRefiner::reduce_congestion_batched(FlowState& fs, RefineStats& stats,
 
     // One batch re-solve across the pool; bit-identical to resolving the
     // picked regions one at a time in this order.
+    RLCR_TRACE_SPAN(sweep_span, "refine.batch_sweep", "refine");
+    sweep_span.arg("regions", static_cast<double>(picked.size()));
     fs.resolve_regions(picked, /*allow_anneal=*/false, options.threads);
     ++stats.batch_sweeps;
     stats.batch_regions_resolved += static_cast<int>(picked.size());

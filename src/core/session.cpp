@@ -5,6 +5,8 @@
 
 #include "core/paths.h"
 #include "core/refine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "store/artifact_store.h"
 #include "sino/anneal.h"
@@ -292,6 +294,10 @@ std::shared_ptr<RoutingArtifact> derive_routing_artifact(
 
 std::shared_ptr<const RoutingArtifact> FlowSession::route(
     const router::IdRouterOptions& options, FlowKind kind) {
+  // Stage spans cover the whole request — a cache/store hit shows up as a
+  // short span, a compute as the full stage — gated per session by
+  // SessionOptions::trace on top of the global trace switch.
+  obs::ScopedSpan span("session.route", "session", options_.trace);
   ++counters_.route_requests;
   for (std::size_t i = 0; i < route_cache_.size(); ++i) {
     if (route_cache_[i].options.same_routing_profile(options)) {
@@ -348,6 +354,7 @@ std::shared_ptr<const RoutingArtifact> FlowSession::route(
 std::shared_ptr<const BudgetArtifact> FlowSession::budget(
     FlowKind kind, const std::shared_ptr<const RoutingArtifact>& phase1,
     double bound_v, double margin) {
+  obs::ScopedSpan span("session.budget", "session", options_.trace);
   ++counters_.budget_requests;
   const BudgetRule rule = budget_rule(kind);
   // Only the margin rule applies the margin: normalize it out of the cache
@@ -435,6 +442,7 @@ std::shared_ptr<const BudgetArtifact> FlowSession::budget(
 std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_regions(
     FlowKind kind, const std::shared_ptr<const RoutingArtifact>& phase1,
     const std::shared_ptr<const BudgetArtifact>& budget, bool anneal_phase2) {
+  obs::ScopedSpan span("session.solve_regions", "session", options_.trace);
   ++counters_.solve_requests;
   const bool anneal = anneal_phase2 && kind != FlowKind::kIdNo;
   for (std::size_t i = 0; i < solve_cache_.size(); ++i) {
@@ -603,12 +611,44 @@ FlowState FlowSession::state(FlowKind kind, const Scenario& scenario) {
 std::shared_ptr<const RefineArtifact> FlowSession::refine(
     const std::shared_ptr<const RegionSolveArtifact>& solve,
     const RefineOptions& options) {
+  obs::ScopedSpan span("session.refine", "session", options_.trace);
   ++counters_.refine_requests;
   for (std::size_t i = 0; i < refine_cache_.size(); ++i) {
     const RefineEntry& e = refine_cache_[i];
     if (e.solve == solve.get() && e.batch_pass2 == options.batch_pass2) {
       lru_touch(refine_cache_, i);
       const auto art = refine_cache_.back().artifact;
+      emit(Stage::kRefine, solve->kind, art->seconds, /*reused=*/true);
+      return art;
+    }
+  }
+
+  const RoutingProblem& p = *problem_;
+
+  // Store consult (see route()). The refine record keys on the solve
+  // record it refines plus the one Phase III knob that changes output
+  // (batch_pass2; threads/speculate_batch never do), with the solve key
+  // rebuilt from the artifact's own provenance fields.
+  std::uint64_t store_key = 0;
+  if (options_.store) {
+    const std::uint64_t routing_k =
+        store::routing_key(p, solve->phase1->options);
+    const BudgetRule rule = solve->budget->rule;
+    const std::uint64_t budget_k = store::budget_key(
+        p, rule, solve->budget->bound_v, solve->budget->margin,
+        rule == BudgetRule::kRoutedLength ? routing_k : 0);
+    store_key = store::refine_key(
+        p, store::solve_key(p, solve->kind, solve->annealed, routing_k,
+                            budget_k),
+        options.batch_pass2);
+    // get_refine cross-checks the record's embedded batch_pass2 flag (the
+    // identity check of the other stages, folded into the load).
+    if (auto art = options_.store->get_refine(store_key, p, solve,
+                                              options.batch_pass2)) {
+      ++counters_.refine_loaded;
+      lru_insert(refine_cache_,
+                 RefineEntry{solve.get(), options.batch_pass2, art},
+                 options_.cache_entries);
       emit(Stage::kRefine, solve->kind, art->seconds, /*reused=*/true);
       return art;
     }
@@ -640,8 +680,27 @@ std::shared_ptr<const RefineArtifact> FlowSession::refine(
   counters_.refine_spec_replayed += static_cast<std::size_t>(stats.spec_replayed);
   lru_insert(refine_cache_, RefineEntry{solve.get(), options.batch_pass2, art},
              options_.cache_entries);
+  if (options_.store) {
+    options_.store->put_refine(store_key, *art, options.batch_pass2);
+  }
   emit(Stage::kRefine, solve->kind, art->seconds, /*reused=*/false);
   return art;
+}
+
+obs::MetricsSnapshot FlowSession::metrics() const {
+  obs::MetricsSnapshot snap;
+  obs::append_metrics(snap, counters_);
+  // Per-stage stats come from the most recently touched artifacts (the
+  // LRU caches keep recency order, back = most recent), so the registry
+  // reads as "what this session last did".
+  if (!route_cache_.empty() && route_cache_.back().artifact->routing) {
+    obs::append_metrics(snap, route_cache_.back().artifact->routing->stats);
+  }
+  if (!refine_cache_.empty()) {
+    obs::append_metrics(snap, refine_cache_.back().artifact->stats);
+  }
+  if (options_.store) obs::append_metrics(snap, options_.store->stats());
+  return snap;
 }
 
 FlowResult FlowSession::assemble(

@@ -53,6 +53,10 @@ namespace rlcr::store {
 class ArtifactStore;
 }  // namespace rlcr::store
 
+namespace rlcr::obs {
+class MetricsSnapshot;
+}  // namespace rlcr::obs
+
 namespace rlcr::gsino {
 
 enum class FlowKind { kIdNo, kIsino, kGsino };
@@ -123,6 +127,15 @@ struct StageEvent {
 /// Progress/observer callback: one type-erased signature for every
 /// consumer (sessions, the experiment harness, CLIs). Replaces the ad-hoc
 /// ExperimentOptions::progress signature.
+///
+/// DEPRECATION NOTE: for timing/profiling, prefer the span tracer
+/// (obs/trace.h) — it covers sub-stage phases the observer never sees
+/// (router build/deletion, speculation rounds, per-region re-solves,
+/// store I/O, pool occupancy) and exports Perfetto-loadable traces; the
+/// counters behind it unify into obs::MetricsSnapshot
+/// (FlowSession::metrics()). StageObserver stays supported as a
+/// *progress* hook (live UIs reacting to stage completion), which is the
+/// one job the record-and-export tracer does not do.
 using StageObserver = std::function<void(const StageEvent&)>;
 
 // --------------------------------------------------------------- artifacts
@@ -391,7 +404,7 @@ struct StageCounters {
   std::size_t route_requests = 0, route_executed = 0, route_loaded = 0;
   std::size_t budget_requests = 0, budget_executed = 0, budget_loaded = 0;
   std::size_t solve_requests = 0, solve_executed = 0, solve_loaded = 0;
-  std::size_t refine_requests = 0, refine_executed = 0;
+  std::size_t refine_requests = 0, refine_executed = 0, refine_loaded = 0;
   /// Speculation totals accumulated from the stats of every artifact this
   /// session computed (parallel/speculate.h): the Phase I deletion loop
   /// and Phase III pass 1 respectively. Loaded/reused artifacts don't
@@ -427,10 +440,14 @@ struct SessionOptions {
   /// Per-stage in-memory artifact cache budget (entries, LRU eviction;
   /// 0 = unbounded). The default is generous — experiment-sized runs
   /// never evict — while a long-lived what-if service can bound its
-  /// footprint; evicted routing/budget/solve artifacts stay reachable
-  /// through `store` (refine artifacts are not auto-published and
-  /// recompute on re-request).
+  /// footprint; every evicted stage artifact (routing, budget, solve,
+  /// refine) stays reachable through `store`.
   std::size_t cache_entries = 64;
+  /// Emit this session's stage spans into an active obs::TraceSession
+  /// (obs/trace.h). Off silences only this session's "session"-category
+  /// spans — subsystem spans (router, store, pool...) key off the global
+  /// trace switch alone.
+  bool trace = true;
 };
 
 /// A staged, re-entrant pipeline over one RoutingProblem. Stages can be
@@ -446,6 +463,12 @@ class FlowSession {
 
   const RoutingProblem& problem() const { return *problem_; }
   const StageCounters& counters() const { return counters_; }
+
+  /// This session's counters, the most recently touched routing/refine
+  /// artifacts' stats, and the attached store's stats (when one is
+  /// attached) as a flat name-keyed registry view — see obs/metrics.h
+  /// for the naming convention and JSON export.
+  obs::MetricsSnapshot metrics() const;
 
   /// Router profile a flow routes with (the paper's fairness rule: only
   /// GSINO reserves shield area and gets detour headroom).

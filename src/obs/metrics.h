@@ -1,0 +1,143 @@
+// Flow-wide metrics registry (the observability layer's counters half).
+//
+// The five stats structs scattered across the subsystems — StageCounters
+// (core/session.h), RoutingStats (router/route_types.h), RefineStats
+// (core/session.h), StoreStats (store/artifact_store.h), and SpecStats
+// (parallel/speculate.h) — stay the internal source of truth; this layer
+// only *adapts* them into one flat, name-keyed MetricsSnapshot for export
+// (JSON, `route_cli --metrics-out`, the future what-if daemon's stats
+// endpoint). Each adapter carries a sizeof static_assert so adding a field
+// to a source struct without teaching the adapter fails the build, and the
+// completeness test (tests/obs_test.cpp) proves every field appears in the
+// registry exactly once.
+//
+// Naming convention: "<subsystem>.<field>" — session.*, router.*,
+// refine.*, store.*, spec.* — plus resource.* gauges from the sampler.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.h"
+#include "parallel/speculate.h"
+#include "router/route_types.h"
+#include "store/artifact_store.h"
+
+namespace rlcr::obs {
+
+enum class MetricKind { kCounter, kGauge };
+
+struct Metric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+};
+
+/// A point-in-time, name-keyed view over the stats structs. Insertion
+/// order is preserved in metrics(); to_json() sorts by name so the key
+/// set — which tools/check_trace.py pins — is stable across refactors.
+class MetricsSnapshot {
+ public:
+  void set_counter(const std::string& name, double value) {
+    set(name, MetricKind::kCounter, value);
+  }
+  void set_gauge(const std::string& name, double value) {
+    set(name, MetricKind::kGauge, value);
+  }
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  bool has(const std::string& name) const {
+    return index_.find(name) != index_.end();
+  }
+  /// Value of `name`, or 0.0 when absent (check has() when it matters).
+  double value_of(const std::string& name) const;
+
+  /// {"metrics":{"<name>":{"kind":"counter|gauge","value":N}, ...}} with
+  /// names sorted.
+  std::string to_json() const;
+  /// to_json() to a file; false on I/O failure.
+  bool write_json(const std::filesystem::path& path) const;
+
+ private:
+  void set(const std::string& name, MetricKind kind, double value);
+
+  std::vector<Metric> metrics_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+// ------------------------------------------------------- struct adapters
+
+/// session.* counters (requests/executed/loaded per stage + speculation
+/// totals).
+void append_metrics(MetricsSnapshot& out, const gsino::StageCounters& c);
+/// router.* counters plus the router.runtime_s gauge.
+void append_metrics(MetricsSnapshot& out, const router::RoutingStats& s);
+/// refine.* counters.
+void append_metrics(MetricsSnapshot& out, const gsino::RefineStats& s);
+/// store.* counters.
+void append_metrics(MetricsSnapshot& out, const store::StoreStats& s);
+/// <prefix>attempted/committed/replayed counters for a standalone
+/// speculation scope (the session already folds its own spec totals into
+/// session.*).
+void append_metrics(MetricsSnapshot& out, const parallel::SpecStats& s,
+                    const std::string& prefix = "spec.");
+
+// ------------------------------------------------------ resource sampler
+
+struct ResourceSample {
+  double t_s = 0.0;              ///< seconds since sampler start
+  double rss_kb = 0.0;           ///< VmRSS (0 where /proc is unavailable)
+  double store_bytes = 0.0;      ///< bytes on disk of the watched store
+  double pool_threads = 0.0;     ///< spawned pool workers
+};
+
+struct ResourceSamplerOptions {
+  std::chrono::milliseconds period{100};
+  /// Optional store to watch; must outlive the sampler.
+  const store::ArtifactStore* store = nullptr;
+};
+
+/// Periodically samples process RSS, artifact-store footprint, and pool
+/// occupancy on a background thread. The sampled callees are internally
+/// synchronized (ArtifactStore::bytes_on_disk() and ThreadPool::spawned()
+/// both lock), so the sampler is safe to run alongside a flow — including
+/// under TSan. stop() (or destruction) joins the thread.
+class ResourceSampler {
+ public:
+  using Options = ResourceSamplerOptions;
+
+  explicit ResourceSampler(Options options = {});
+  ~ResourceSampler();
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  void stop();
+  std::vector<ResourceSample> samples() const;
+
+  /// resource.* gauges (sample count, peak/last RSS, peak store bytes,
+  /// peak pool threads) from the samples taken so far.
+  void append_gauges(MetricsSnapshot& out) const;
+
+  /// Current VmRSS in kB (0 on platforms without /proc/self/status).
+  static double rss_kb_now();
+
+ private:
+  void run();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<ResourceSample> samples_;
+  std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+};
+
+}  // namespace rlcr::obs

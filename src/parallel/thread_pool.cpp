@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.h"
+
 namespace rlcr::parallel {
 
 namespace {
@@ -71,7 +73,11 @@ void ThreadPool::worker_main() {
     ++running_;
     const std::function<void(int)>* task = task_;
     lock.unlock();
-    (*task)(worker);
+    {
+      RLCR_TRACE_SPAN(sp, "pool.task", "pool");
+      sp.arg("worker", worker);
+      (*task)(worker);
+    }
     lock.lock();
     --running_;
     if (running_ == 0 && slots_ == 0) done_cv_.notify_one();
@@ -108,6 +114,8 @@ void ThreadPool::run(int helpers, const std::function<void(int)>& task) {
   // before rethrowing so `task` stays alive while they use it.
   std::exception_ptr caller_error;
   try {
+    RLCR_TRACE_SPAN(sp, "pool.task", "pool");
+    sp.arg("worker", 0);
     task(0);
   } catch (...) {
     caller_error = std::current_exception();

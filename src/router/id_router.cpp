@@ -5,8 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "grid/tiled.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/speculate.h"
 #include "rsmt/steiner.h"
@@ -233,6 +235,13 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   const grid::RegionStorage storage = grid::default_region_storage();
   RegionStats stats(region_count, storage);
   const int threads = parallel::resolve_threads(options_.threads);
+
+  // route() is one long function whose phases run back-to-back, so the
+  // phase spans share one re-emplaced slot instead of nested scopes
+  // (emplace ends the previous phase, then starts the next).
+  std::optional<obs::ScopedSpan> phase_span;
+  phase_span.emplace("router.build", "router");
+  phase_span->arg("nets", static_cast<double>(nets.size()));
 
   // ---------------------------------------------------------------- build
   //
@@ -973,8 +982,10 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   // stamps of everything each evaluation reads. Workers then only touch
   // read-only shared state plus their own memo slot and scratch.
   auto speculate_round = [&]() {
+    RLCR_TRACE_SPAN(spec_span, "router.spec_round", "router");
     const auto top = heap.top_k(static_cast<std::size_t>(spec_batch));
     memo_count = top.size();
+    spec_span.arg("batch", static_cast<double>(memo_count));
     for (std::size_t i = 0; i < memo_count; ++i) {
       SpecMemo& m = memos[i];
       m.gid = top[i].id;
@@ -1029,6 +1040,8 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   // re-reads top() for every pop, so memos only short-circuit recomputation
   // (weight / BFS) after their version stamps prove the inputs untouched,
   // never the processing order.
+  phase_span.emplace("router.deletion", "router");
+  phase_span->arg("candidates", static_cast<double>(heap.size()));
   while (!heap.empty()) {
     if (spec_on) speculate_round();
     for (int step = 0; !heap.empty() && (!spec_on || step < spec_batch);
@@ -1156,6 +1169,8 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
     }
   }
 
+  phase_span.emplace("router.collect", "router");
+
   // ------------------------------------------------------------- collect
   // The surviving graph can still hold cycles or stubs the detour guard
   // refused to delete; extract the BFS shortest-path tree from the source
@@ -1230,6 +1245,7 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
               });
     result.total_wirelength_um += route.wirelength_um(*grid_);
   }
+  phase_span.reset();
   result.stats.runtime_s = watch.seconds();
   return result;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace.h"
 #include "rsmt/steiner.h"
 #include "util/stopwatch.h"
 
@@ -64,6 +65,8 @@ RoutingResult MazeRouter::route(const std::vector<RouterNet>& nets) const {
     NetRoute& route = result.routes[n];
     route.net_id = net.id;
     if (net.pins.size() < 2) continue;
+    RLCR_TRACE_SPAN(net_span, "maze.net", "router");
+    net_span.arg("pins", static_cast<double>(net.pins.size()));
 
     geom::Rect window;
     for (const geom::Point& p : net.pins) window.expand(p);

@@ -1,5 +1,6 @@
 #include "sino/batch.h"
 
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "sino/anneal.h"
 #include "sino/evaluator.h"
@@ -15,6 +16,8 @@ SinoBatchResult solve_one(const SinoBatchItem& item,
   SinoBatchResult out;
   if (item.instance == nullptr || item.instance->net_count() == 0) return out;
   const SinoInstance& inst = *item.instance;
+  RLCR_TRACE_SPAN(span, "sino.solve", "sino");
+  span.arg("nets", static_cast<double>(inst.net_count()));
 
   if (item.mode == SinoSolveMode::kNetOrder) {
     out.slots = solve_net_order(inst, keff).slots;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/hash.h"
 
 namespace rlcr::store {
@@ -29,6 +30,8 @@ const char* type_tag(ArtifactType type) {
       return "b";
     case ArtifactType::kRegionSolve:
       return "s";
+    case ArtifactType::kRefine:
+      return "f";
   }
   return "x";
 }
@@ -102,6 +105,8 @@ std::uintmax_t ArtifactStore::bytes_on_disk() const {
 
 bool ArtifactStore::put(ArtifactType type, std::uint64_t key,
                         const std::vector<std::uint8_t>& bytes) {
+  RLCR_TRACE_SPAN(span, "store.put", "store");
+  span.arg("bytes", static_cast<double>(bytes.size()));
   const fs::path final_path = path_of(type, key);
   std::error_code ec;
   if (fs::exists(final_path, ec)) {
@@ -170,6 +175,7 @@ bool ArtifactStore::put(ArtifactType type, std::uint64_t key,
 
 std::optional<std::vector<std::uint8_t>> ArtifactStore::get(
     ArtifactType type, std::uint64_t key) {
+  RLCR_TRACE_SPAN(span, "store.get", "store");
   // Like put(), the multi-megabyte record read runs OUTSIDE the lock —
   // concurrent readers never queue on one another. A record vanishing
   // mid-read (a concurrent evictor) just reads short and counts a miss;
@@ -203,6 +209,7 @@ std::optional<std::vector<std::uint8_t>> ArtifactStore::get(
   fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   ++stats_.hits;
   stats_.bytes_read += bytes.size();
+  span.arg("bytes", static_cast<double>(bytes.size()));
   return bytes;
 }
 
@@ -233,6 +240,7 @@ void ArtifactStore::reject_locked(const fs::path& path,
 
 void ArtifactStore::evict_over_budget_locked(const fs::path& keep) {
   if (options_.max_bytes == 0) return;
+  RLCR_TRACE_SPAN(span, "store.evict", "store");
   struct Record {
     fs::path path;
     fs::file_time_type mtime;
@@ -342,6 +350,26 @@ ArtifactStore::get_region_solve(
   return art;
 }
 
+void ArtifactStore::put_refine(std::uint64_t key,
+                               const gsino::RefineArtifact& art,
+                               bool batch_pass2) {
+  if (touch_existing(ArtifactType::kRefine, key)) return;
+  put(ArtifactType::kRefine, key, save(art, batch_pass2));
+}
+
+std::shared_ptr<const gsino::RefineArtifact> ArtifactStore::get_refine(
+    std::uint64_t key, const gsino::RoutingProblem& problem,
+    std::shared_ptr<const gsino::RegionSolveArtifact> base, bool batch_pass2) {
+  auto bytes = get(ArtifactType::kRefine, key);
+  if (!bytes) return nullptr;
+  auto art = load_refine(*bytes, problem, std::move(base), batch_pass2);
+  if (art == nullptr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    reject_locked(path_of(ArtifactType::kRefine, key), *bytes);
+  }
+  return art;
+}
+
 // ------------------------------------------------------------ identities
 
 namespace {
@@ -393,6 +421,18 @@ std::uint64_t solve_key(const gsino::RoutingProblem& problem,
   h.i32(problem.params().anneal_iterations);  // anneal stream length
   h.u64(routing);
   h.u64(budget);
+  return h.value();
+}
+
+std::uint64_t refine_key(const gsino::RoutingProblem& problem,
+                         std::uint64_t solve, bool batch_pass2) {
+  util::Fnv1a64 h;
+  h.str("refine/v1");
+  h.u64(problem.fingerprint());
+  h.u64(solve);
+  // The one Phase III knob that changes output; threads/speculate_batch
+  // never do (the session cache applies the same identity).
+  h.boolean(batch_pass2);
   return h.value();
 }
 

@@ -179,6 +179,126 @@ router::IdRouterOptions read_options(BinaryReader& r) {
   return o;
 }
 
+// ------------------------- shared region-state codec (solve and refine)
+//
+// The Phase II and Phase III payload tails are the same shape — the
+// per-(region, dir) solution vector, the per-net LSK/noise vectors, and
+// the congestion map — so one codec serves both (byte-identical to the
+// historical kRegionSolve layout).
+
+void write_region_state(BinaryWriter& w,
+                        const std::vector<gsino::RegionSolution>& solutions,
+                        const std::vector<double>& net_lsk,
+                        const std::vector<double>& net_noise,
+                        const grid::CongestionMap& cmap) {
+  w.u64(solutions.size());
+  for (const gsino::RegionSolution& sol : solutions) {
+    const std::size_t n = sol.net_index.size();
+    w.u64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const sino::SinoNet& sn = sol.instance.net(i);
+      w.i32(sn.net_id);
+      w.f64(sn.si);
+      w.f64(sn.kth);
+    }
+    // Strict upper triangle only: the matrix is symmetric with an empty
+    // diagonal, and set_sensitive mirrors on load.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        w.u8(sol.instance.sensitive(i, j) ? 1 : 0);
+      }
+    }
+    for (const std::size_t g : sol.net_index) w.u64(g);
+    w.f64_vec(sol.len_mm);
+    w.f64_vec(sol.path_len_mm);
+    w.u64(sol.slots.size());
+    for (const ktable::Slot s : sol.slots) w.i32(s);
+    w.f64_vec(sol.ki);
+  }
+
+  w.f64_vec(net_lsk);
+  w.f64_vec(net_noise);
+
+  const std::size_t regions = cmap.grid().region_count();
+  w.u64(regions);
+  for (const grid::Dir d : grid::kBothDirs) {
+    for (std::size_t r = 0; r < regions; ++r) w.f64(cmap.segments(r, d));
+    for (std::size_t r = 0; r < regions; ++r) w.f64(cmap.shields(r, d));
+  }
+}
+
+struct RegionState {
+  std::shared_ptr<std::vector<gsino::RegionSolution>> solutions;
+  std::shared_ptr<std::vector<double>> net_lsk;
+  std::shared_ptr<std::vector<double>> net_noise;
+  std::shared_ptr<grid::CongestionMap> congestion;
+};
+
+bool read_region_state(BinaryReader& r, const gsino::RoutingProblem& problem,
+                       RegionState& out) {
+  const std::uint64_t sol_count = r.seq_size(/*elem_bytes=*/8);
+  if (!r.ok() || sol_count != problem.grid().region_count() * 2) return false;
+  out.solutions = std::make_shared<std::vector<gsino::RegionSolution>>(
+      static_cast<std::size_t>(sol_count));
+  for (gsino::RegionSolution& sol : *out.solutions) {
+    const std::uint64_t n = r.seq_size(/*elem_bytes=*/20);
+    if (!r.ok()) return false;
+    std::vector<sino::SinoNet> nets(static_cast<std::size_t>(n));
+    for (sino::SinoNet& sn : nets) {
+      sn.net_id = r.i32();
+      sn.si = r.f64();
+      sn.kth = r.f64();
+    }
+    sol.instance = sino::SinoInstance(std::move(nets));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (r.u8() != 0 && r.ok()) sol.instance.set_sensitive(i, j);
+      }
+    }
+    sol.net_index.resize(static_cast<std::size_t>(n));
+    for (std::size_t& g : sol.net_index) {
+      g = static_cast<std::size_t>(r.u64());
+      if (r.ok() && g >= problem.net_count()) return false;
+    }
+    if (!r.f64_vec(sol.len_mm) || !r.f64_vec(sol.path_len_mm)) return false;
+    const std::uint64_t slot_count = r.seq_size(/*elem_bytes=*/4);
+    if (!r.ok()) return false;
+    sol.slots.resize(static_cast<std::size_t>(slot_count));
+    for (ktable::Slot& s : sol.slots) s = r.i32();
+    if (!r.f64_vec(sol.ki)) return false;
+    if (sol.len_mm.size() != n || sol.path_len_mm.size() != n ||
+        sol.ki.size() != n) {
+      return false;
+    }
+  }
+
+  out.net_lsk = std::make_shared<std::vector<double>>();
+  out.net_noise = std::make_shared<std::vector<double>>();
+  if (!r.f64_vec(*out.net_lsk) || !r.f64_vec(*out.net_noise)) return false;
+  if (out.net_lsk->size() != problem.net_count() ||
+      out.net_noise->size() != problem.net_count()) {
+    return false;
+  }
+
+  const std::uint64_t regions = r.seq_size(/*elem_bytes=*/16);
+  if (!r.ok() || regions != problem.grid().region_count()) return false;
+  out.congestion = std::make_shared<grid::CongestionMap>(problem.grid());
+  // The record stores every region (format unchanged); only non-zero
+  // values are written back so a tiled map materializes exactly the tiles
+  // the saved map had live values in.
+  for (const grid::Dir d : grid::kBothDirs) {
+    for (std::size_t reg = 0; reg < regions; ++reg) {
+      const double v = r.f64();
+      if (v != 0.0) out.congestion->set_segments(reg, d, v);
+    }
+    for (std::size_t reg = 0; reg < regions; ++reg) {
+      const double v = r.f64();
+      if (v != 0.0) out.congestion->set_shields(reg, d, v);
+    }
+  }
+  return r.ok();
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------- save
@@ -230,44 +350,33 @@ std::vector<std::uint8_t> save(const gsino::RegionSolveArtifact& art) {
   w.u8(art.annealed ? 1 : 0);
   w.u64(art.violating);
   w.f64(art.seconds);
-
-  const auto& solutions = *art.solutions;
-  w.u64(solutions.size());
-  for (const gsino::RegionSolution& sol : solutions) {
-    const std::size_t n = sol.net_index.size();
-    w.u64(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const sino::SinoNet& sn = sol.instance.net(i);
-      w.i32(sn.net_id);
-      w.f64(sn.si);
-      w.f64(sn.kth);
-    }
-    // Strict upper triangle only: the matrix is symmetric with an empty
-    // diagonal, and set_sensitive mirrors on load.
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        w.u8(sol.instance.sensitive(i, j) ? 1 : 0);
-      }
-    }
-    for (const std::size_t g : sol.net_index) w.u64(g);
-    w.f64_vec(sol.len_mm);
-    w.f64_vec(sol.path_len_mm);
-    w.u64(sol.slots.size());
-    for (const ktable::Slot s : sol.slots) w.i32(s);
-    w.f64_vec(sol.ki);
-  }
-
-  w.f64_vec(*art.net_lsk);
-  w.f64_vec(*art.net_noise);
-
-  const grid::CongestionMap& cmap = *art.congestion;
-  const std::size_t regions = cmap.grid().region_count();
-  w.u64(regions);
-  for (const grid::Dir d : grid::kBothDirs) {
-    for (std::size_t r = 0; r < regions; ++r) w.f64(cmap.segments(r, d));
-    for (std::size_t r = 0; r < regions; ++r) w.f64(cmap.shields(r, d));
-  }
+  write_region_state(w, *art.solutions, *art.net_lsk, *art.net_noise,
+                     *art.congestion);
   return frame(ArtifactType::kRegionSolve, w.take());
+}
+
+std::vector<std::uint8_t> save(const gsino::RefineArtifact& art,
+                               bool batch_pass2) {
+  BinaryWriter w;
+  w.u8(batch_pass2 ? 1 : 0);
+  w.u64(art.violating);
+  w.u64(art.unfixable);
+  const gsino::RefineStats& s = art.stats;
+  w.i32(s.pass1_nets_fixed);
+  w.i32(s.pass1_resolves);
+  w.i32(s.pass1_gave_up);
+  w.i32(s.pass2_shields_removed);
+  w.i32(s.pass2_accepted);
+  w.i32(s.pass2_rejected);
+  w.i32(s.batch_sweeps);
+  w.i32(s.batch_regions_resolved);
+  w.i32(s.spec_attempted);
+  w.i32(s.spec_committed);
+  w.i32(s.spec_replayed);
+  w.f64(art.seconds);
+  write_region_state(w, *art.solutions, *art.net_lsk, *art.net_noise,
+                     *art.congestion);
+  return frame(ArtifactType::kRefine, w.take());
 }
 
 // ------------------------------------------------------------------- load
@@ -359,74 +468,55 @@ std::shared_ptr<const gsino::RegionSolveArtifact> load_region_solve(
   art->violating = static_cast<std::size_t>(r.u64());
   art->seconds = r.f64();
 
-  const std::uint64_t sol_count = r.seq_size(/*elem_bytes=*/8);
-  if (!r.ok() || sol_count != problem.grid().region_count() * 2) return nullptr;
-  auto solutions = std::make_shared<std::vector<gsino::RegionSolution>>(
-      static_cast<std::size_t>(sol_count));
-  for (gsino::RegionSolution& sol : *solutions) {
-    const std::uint64_t n = r.seq_size(/*elem_bytes=*/20);
-    if (!r.ok()) return nullptr;
-    std::vector<sino::SinoNet> nets(static_cast<std::size_t>(n));
-    for (sino::SinoNet& sn : nets) {
-      sn.net_id = r.i32();
-      sn.si = r.f64();
-      sn.kth = r.f64();
-    }
-    sol.instance = sino::SinoInstance(std::move(nets));
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (r.u8() != 0 && r.ok()) sol.instance.set_sensitive(i, j);
-      }
-    }
-    sol.net_index.resize(static_cast<std::size_t>(n));
-    for (std::size_t& g : sol.net_index) {
-      g = static_cast<std::size_t>(r.u64());
-      if (r.ok() && g >= problem.net_count()) return nullptr;
-    }
-    if (!r.f64_vec(sol.len_mm) || !r.f64_vec(sol.path_len_mm)) return nullptr;
-    const std::uint64_t slot_count = r.seq_size(/*elem_bytes=*/4);
-    if (!r.ok()) return nullptr;
-    sol.slots.resize(static_cast<std::size_t>(slot_count));
-    for (ktable::Slot& s : sol.slots) s = r.i32();
-    if (!r.f64_vec(sol.ki)) return nullptr;
-    if (sol.len_mm.size() != n || sol.path_len_mm.size() != n ||
-        sol.ki.size() != n) {
-      return nullptr;
-    }
-  }
-
-  auto net_lsk = std::make_shared<std::vector<double>>();
-  auto net_noise = std::make_shared<std::vector<double>>();
-  if (!r.f64_vec(*net_lsk) || !r.f64_vec(*net_noise)) return nullptr;
-  if (net_lsk->size() != problem.net_count() ||
-      net_noise->size() != problem.net_count()) {
-    return nullptr;
-  }
-
-  const std::uint64_t regions = r.seq_size(/*elem_bytes=*/16);
-  if (!r.ok() || regions != problem.grid().region_count()) return nullptr;
-  auto congestion = std::make_shared<grid::CongestionMap>(problem.grid());
-  // The record stores every region (format unchanged); only non-zero
-  // values are written back so a tiled map materializes exactly the tiles
-  // the saved map had live values in.
-  for (const grid::Dir d : grid::kBothDirs) {
-    for (std::size_t reg = 0; reg < regions; ++reg) {
-      const double v = r.f64();
-      if (v != 0.0) congestion->set_segments(reg, d, v);
-    }
-    for (std::size_t reg = 0; reg < regions; ++reg) {
-      const double v = r.f64();
-      if (v != 0.0) congestion->set_shields(reg, d, v);
-    }
-  }
-  if (!r.at_end()) return nullptr;
+  RegionState state;
+  if (!read_region_state(r, problem, state) || !r.at_end()) return nullptr;
 
   art->phase1 = std::move(phase1);
   art->budget = std::move(budget);
-  art->solutions = std::move(solutions);
-  art->net_lsk = std::move(net_lsk);
-  art->net_noise = std::move(net_noise);
-  art->congestion = std::move(congestion);
+  art->solutions = std::move(state.solutions);
+  art->net_lsk = std::move(state.net_lsk);
+  art->net_noise = std::move(state.net_noise);
+  art->congestion = std::move(state.congestion);
+  return art;
+}
+
+std::shared_ptr<const gsino::RefineArtifact> load_refine(
+    const std::vector<std::uint8_t>& bytes,
+    const gsino::RoutingProblem& problem,
+    std::shared_ptr<const gsino::RegionSolveArtifact> base, bool batch_pass2) {
+  const auto [payload, size] = unframe(bytes, ArtifactType::kRefine);
+  if (payload == nullptr) return nullptr;
+  BinaryReader r(payload, size);
+
+  // Identity cross-check: a record refined under the other batch_pass2
+  // configuration is a different output — treat it as a miss.
+  if ((r.u8() != 0) != batch_pass2) return nullptr;
+
+  auto art = std::make_shared<gsino::RefineArtifact>();
+  art->violating = static_cast<std::size_t>(r.u64());
+  art->unfixable = static_cast<std::size_t>(r.u64());
+  gsino::RefineStats& s = art->stats;
+  s.pass1_nets_fixed = r.i32();
+  s.pass1_resolves = r.i32();
+  s.pass1_gave_up = r.i32();
+  s.pass2_shields_removed = r.i32();
+  s.pass2_accepted = r.i32();
+  s.pass2_rejected = r.i32();
+  s.batch_sweeps = r.i32();
+  s.batch_regions_resolved = r.i32();
+  s.spec_attempted = r.i32();
+  s.spec_committed = r.i32();
+  s.spec_replayed = r.i32();
+  art->seconds = r.f64();
+
+  RegionState state;
+  if (!read_region_state(r, problem, state) || !r.at_end()) return nullptr;
+
+  art->base = std::move(base);
+  art->solutions = std::move(state.solutions);
+  art->net_lsk = std::move(state.net_lsk);
+  art->net_noise = std::move(state.net_noise);
+  art->congestion = std::move(state.congestion);
   return art;
 }
 

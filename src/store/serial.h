@@ -46,6 +46,10 @@ enum class ArtifactType : std::uint32_t {
   kRouting = 1,
   kBudget = 2,
   kRegionSolve = 3,
+  /// Added alongside refine auto-publish. No version bump: the other
+  /// payloads are unchanged, and pre-refine stores simply miss on the new
+  /// tag.
+  kRefine = 4,
 };
 
 // ------------------------------------------------------------------- save
@@ -53,6 +57,12 @@ enum class ArtifactType : std::uint32_t {
 std::vector<std::uint8_t> save(const gsino::RoutingArtifact& art);
 std::vector<std::uint8_t> save(const gsino::BudgetArtifact& art);
 std::vector<std::uint8_t> save(const gsino::RegionSolveArtifact& art);
+/// `batch_pass2` is the one Phase III knob that changes refined output
+/// (RefineOptions; threads/speculate_batch never do). It rides in the
+/// payload as the record's identity cross-check — RefineArtifact itself
+/// does not carry it.
+std::vector<std::uint8_t> save(const gsino::RefineArtifact& art,
+                               bool batch_pass2);
 
 // ------------------------------------------------------------------- load
 
@@ -71,5 +81,13 @@ std::shared_ptr<const gsino::RegionSolveArtifact> load_region_solve(
     const std::vector<std::uint8_t>& bytes, const gsino::RoutingProblem& problem,
     std::shared_ptr<const gsino::RoutingArtifact> phase1,
     std::shared_ptr<const gsino::BudgetArtifact> budget);
+
+/// Like load_region_solve, the refine artifact's base (solve) input is
+/// identity: the caller re-attaches it. A record whose embedded
+/// batch_pass2 flag differs from `batch_pass2` loads as null — it belongs
+/// to the other Phase III configuration.
+std::shared_ptr<const gsino::RefineArtifact> load_refine(
+    const std::vector<std::uint8_t>& bytes, const gsino::RoutingProblem& problem,
+    std::shared_ptr<const gsino::RegionSolveArtifact> base, bool batch_pass2);
 
 }  // namespace rlcr::store

@@ -1,5 +1,5 @@
 // The persistent artifact store (src/store): serialization round-trip
-// bit-identity for all three artifact types, rejection of version-mismatch
+// bit-identity for all four artifact types, rejection of version-mismatch
 // / truncated / corrupted records, cross-process warm-start through a
 // shared store directory (stage counters prove Phase I was skipped), LRU
 // eviction under a size budget, the bounded in-memory session caches, and
@@ -162,6 +162,54 @@ TEST(StoreSerial, RegionSolveRoundTripIsBitIdentical) {
   }
 }
 
+TEST(StoreSerial, RefineRoundTripIsBitIdentical) {
+  const Pipeline pipe(0.5);
+  const RoutingProblem p = pipe.problem();
+  FlowSession session(p);
+  const auto phase1 = session.route(FlowKind::kGsino);
+  const auto budget = session.budget(FlowKind::kGsino, phase1, 0.15, 1.0);
+  const auto solve =
+      session.solve_regions(FlowKind::kGsino, phase1, budget, false);
+  const auto art = session.refine(solve);
+
+  const std::vector<std::uint8_t> bytes = store::save(*art, false);
+  const auto loaded = store::load_refine(bytes, p, solve, false);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->base.get(), solve.get());
+  EXPECT_EQ(loaded->violating, art->violating);
+  EXPECT_EQ(loaded->unfixable, art->unfixable);
+  EXPECT_EQ(loaded->seconds, art->seconds);
+  EXPECT_EQ(loaded->stats.pass1_nets_fixed, art->stats.pass1_nets_fixed);
+  EXPECT_EQ(loaded->stats.pass1_resolves, art->stats.pass1_resolves);
+  EXPECT_EQ(loaded->stats.pass1_gave_up, art->stats.pass1_gave_up);
+  EXPECT_EQ(loaded->stats.pass2_shields_removed,
+            art->stats.pass2_shields_removed);
+  EXPECT_EQ(loaded->stats.pass2_accepted, art->stats.pass2_accepted);
+  EXPECT_EQ(loaded->stats.pass2_rejected, art->stats.pass2_rejected);
+  EXPECT_EQ(*loaded->net_lsk, *art->net_lsk);
+  EXPECT_EQ(*loaded->net_noise, *art->net_noise);
+  ASSERT_EQ(loaded->solutions->size(), art->solutions->size());
+  for (std::size_t si = 0; si < art->solutions->size(); ++si) {
+    const RegionSolution& x = (*art->solutions)[si];
+    const RegionSolution& y = (*loaded->solutions)[si];
+    ASSERT_EQ(x.net_index, y.net_index) << "sol " << si;
+    EXPECT_EQ(x.slots, y.slots);
+    EXPECT_EQ(x.ki, y.ki);
+  }
+  for (std::size_t r = 0; r < p.grid().region_count(); ++r) {
+    for (const grid::Dir d : grid::kBothDirs) {
+      EXPECT_EQ(art->congestion->segments(r, d),
+                loaded->congestion->segments(r, d));
+      EXPECT_EQ(art->congestion->shields(r, d),
+                loaded->congestion->shields(r, d));
+    }
+  }
+
+  // The record is pinned to its Phase III configuration: loading it under
+  // the other batch_pass2 setting is a miss, not a wrong answer.
+  EXPECT_EQ(store::load_refine(bytes, p, solve, true), nullptr);
+}
+
 // ------------------------------------------------------- rejection paths
 
 TEST(StoreSerial, VersionMismatchIsRejected) {
@@ -256,6 +304,8 @@ TEST(ArtifactStore, WarmStartsAFreshSessionWithPhaseISkipped) {
   EXPECT_EQ(session.counters().budget_loaded, 1u);
   EXPECT_EQ(session.counters().solve_executed, 0u);
   EXPECT_EQ(session.counters().solve_loaded, 1u);
+  EXPECT_EQ(session.counters().refine_executed, 0u);
+  EXPECT_EQ(session.counters().refine_loaded, 1u);
 
   // And the result is bit-identical to the cold run.
   EXPECT_EQ(router::route_hash(warm.routing()), router::route_hash(cold.routing()));
@@ -459,6 +509,10 @@ TEST(Session, EvictedArtifactsAreServedBackByTheStore) {
   // store keys on content, the LRU cache on pointer identity).
   EXPECT_EQ(session.counters().solve_executed, 2u);
   EXPECT_EQ(session.counters().solve_loaded, 1u);
+  // And the 0.15 refine artifact, published on first compute and evicted
+  // with its solve entry, comes back from the store the same way.
+  EXPECT_EQ(session.counters().refine_executed, 2u);
+  EXPECT_EQ(session.counters().refine_loaded, 1u);
 }
 
 // ------------------------------------------------------------- concurrency

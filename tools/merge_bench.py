@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Merge google-benchmark JSON files into one perf record.
 
-Usage: merge_bench.py BASE.json EXTRA.json [EXTRA.json ...]
+Usage: merge_bench.py [--suffix SUF] BASE.json EXTRA.json [EXTRA.json ...]
 
 Appends each EXTRA file's `benchmarks` entries to BASE (in place),
 re-indexing `family_index` so it stays unique across the merged file
 (consumers group by it).
+
+`--suffix SUF` appends SUF to every EXTRA entry's `name`/`run_name`,
+for A/B runs of the *same* benchmark under a different build
+configuration (e.g. `--suffix /obs_off` for the tracing-overhead A/B —
+see docs/OBSERVABILITY.md): without it the merged file would hold two
+indistinguishable entries under one name.
 
 Provenance guard: every input's `context` block must come from an
 optimized build of the code under test. The check keys on
@@ -44,9 +50,19 @@ def load_checked(path: str) -> dict:
 
 
 def main(argv: list[str]) -> None:
-    if len(argv) < 3:
-        fail("usage: merge_bench.py BASE.json EXTRA.json [EXTRA.json ...]")
-    base_path, extra_paths = argv[1], argv[2:]
+    args = argv[1:]
+    suffix = ""
+    if args and args[0] == "--suffix":
+        if len(args) < 2:
+            fail("--suffix requires a value")
+        suffix = args[1]
+        args = args[2:]
+    if len(args) < 2:
+        fail(
+            "usage: merge_bench.py [--suffix SUF] BASE.json EXTRA.json "
+            "[EXTRA.json ...]"
+        )
+    base_path, extra_paths = args[0], args[1:]
     base = load_checked(base_path)
     for path in extra_paths:
         extra = load_checked(path)
@@ -56,6 +72,9 @@ def main(argv: list[str]) -> None:
         for b in extra["benchmarks"]:
             if "family_index" in b:
                 b["family_index"] += offset
+            for key in ("name", "run_name"):
+                if suffix and key in b:
+                    b[key] += suffix
         base["benchmarks"].extend(extra["benchmarks"])
     with open(base_path, "w") as f:
         json.dump(base, f, indent=1)

@@ -1,0 +1,223 @@
+// Service-layer load benchmark: an in-process what-if daemon
+// (service/server.h) driven by N concurrent clients over its real
+// Unix-domain socket, so the measured latency includes the full wire
+// path — framing, checksums, dispatch, coalescing, session reuse.
+//
+//   BM_ServiceTinyBurst — burst of small what-if queries from 4 clients
+//     against one shared tiny session: protocol + dispatch overhead, with
+//     identical submits racing so coalescing fires.
+//   BM_ServiceMixedIbm01 — ibm01 stand-in (RLCROUTE_SCALE, default 0.10):
+//     a cold first query, then warm what-if bounds and coalescable
+//     duplicates — the daemon's intended steady state.
+//
+// Counters per bench: p50_ms / p99_ms client-observed request latency,
+// warm_hit_rate (fraction of replies served without re-routing Phase I),
+// coalesced (submits that attached to an in-flight job). CI merges the
+// JSON into BENCH_router.json; RLCR_SERVICE_METRICS=<path> additionally
+// dumps the server's unified metrics registry for tools/check_service.py.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "build_type_context.h"
+
+#include "core/experiment.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "util/stopwatch.h"
+
+using namespace rlcr;
+
+namespace {
+
+std::string bench_socket_path() {
+  return "/tmp/rlcr_bench_service_" + std::to_string(::getpid()) + ".sock";
+}
+
+struct WorkloadResult {
+  std::vector<double> latencies_ms;  // one entry per completed request
+  std::size_t warm = 0;
+  std::size_t coalesced = 0;
+  std::size_t failures = 0;
+};
+
+/// Each inner vector is one client's submit sequence, replayed over its
+/// own connection on its own thread (submit -> wait, in order).
+WorkloadResult run_clients(
+    const std::string& socket_path,
+    const std::vector<std::vector<service::WhatIfQuery>>& per_client) {
+  std::vector<WorkloadResult> partial(per_client.size());
+  std::vector<std::thread> threads;
+  threads.reserve(per_client.size());
+  for (std::size_t c = 0; c < per_client.size(); ++c) {
+    threads.emplace_back([&, c] {
+      WorkloadResult& out = partial[c];
+      service::Client client;
+      if (!client.connect(socket_path)) {
+        out.failures += per_client[c].size();
+        return;
+      }
+      for (const service::WhatIfQuery& q : per_client[c]) {
+        util::Stopwatch watch;
+        service::SubmitAck ack;
+        service::Result res;
+        if (!client.submit(q, &ack) ||
+            ack.reject != service::RejectReason::kNone ||
+            !client.wait(ack.ticket, &res) ||
+            res.state != service::JobState::kDone) {
+          ++out.failures;
+          continue;
+        }
+        out.latencies_ms.push_back(watch.seconds() * 1e3);
+        if (res.summary.warm != 0) ++out.warm;
+        if (ack.coalesced != 0) ++out.coalesced;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  WorkloadResult total;
+  for (const WorkloadResult& p : partial) {
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              p.latencies_ms.begin(), p.latencies_ms.end());
+    total.warm += p.warm;
+    total.coalesced += p.coalesced;
+    total.failures += p.failures;
+  }
+  return total;
+}
+
+double percentile_ms(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  return values[static_cast<std::size_t>(pos + 0.5)];
+}
+
+void set_counters(benchmark::State& state, const WorkloadResult& r,
+                  const service::ServiceStats& stats) {
+  state.counters["p50_ms"] = percentile_ms(r.latencies_ms, 0.50);
+  state.counters["p99_ms"] = percentile_ms(r.latencies_ms, 0.99);
+  state.counters["warm_hit_rate"] =
+      r.latencies_ms.empty()
+          ? 0.0
+          : static_cast<double>(r.warm) /
+                static_cast<double>(r.latencies_ms.size());
+  state.counters["coalesced"] = static_cast<double>(stats.coalesce_hits);
+  state.counters["requests"] = static_cast<double>(r.latencies_ms.size());
+  state.counters["failures"] = static_cast<double>(r.failures);
+}
+
+void maybe_dump_metrics(const service::Server& server) {
+  const char* path = std::getenv("RLCR_SERVICE_METRICS");
+  if (path == nullptr || path[0] == '\0') return;
+  if (!server.metrics().write_json(path)) {
+    std::fprintf(stderr, "warning: cannot write service metrics to %s\n",
+                 path);
+  }
+}
+
+// ---------------------------------------------------------- tiny burst
+
+void BM_ServiceTinyBurst(benchmark::State& state) {
+  service::WhatIfQuery base;
+  base.source = service::QuerySource::kTiny;
+  base.tiny_nets = 200;
+  base.seed = 7;
+  base.flow = 2;  // gsino
+
+  for (auto _ : state) {
+    service::ServerOptions so;
+    so.socket_path = bench_socket_path();
+    so.workers = 2;
+    service::Server server(std::move(so));
+    std::string err;
+    if (!server.start(&err)) {
+      state.SkipWithError(("server start failed: " + err).c_str());
+      return;
+    }
+    server.preload(base);
+
+    // 4 clients x 6 requests on the one tiny session. Every client opens
+    // with the identical base query (the coalescing race), then sweeps
+    // client-distinct what-if bounds (all warm after the first compute).
+    const int kClients = 4, kPerClient = 6;
+    std::vector<std::vector<service::WhatIfQuery>> work(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      work[c].push_back(base);
+      for (int i = 1; i < kPerClient; ++i) {
+        service::WhatIfQuery q = base;
+        q.has_bound = true;
+        q.scenario_bound_v = 0.10 + 0.01 * (c * kPerClient + i);
+        work[c].push_back(q);
+      }
+    }
+    const WorkloadResult r = run_clients(server.socket_path(), work);
+    set_counters(state, r, server.stats());
+    maybe_dump_metrics(server);
+    server.stop();
+    if (r.failures > 0) {
+      state.SkipWithError("service requests failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ServiceTinyBurst)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// ----------------------------------------------------- ibm01 mixed load
+
+void BM_ServiceMixedIbm01(benchmark::State& state) {
+  service::WhatIfQuery base;
+  base.source = service::QuerySource::kSynthetic;
+  base.circuit = "ibm01";
+  base.scale = gsino::scale_from_env(0.10);
+  base.rate = 0.30;
+  base.flow = 2;
+
+  for (auto _ : state) {
+    service::ServerOptions so;
+    so.socket_path = bench_socket_path();
+    so.workers = 2;
+    service::Server server(std::move(so));
+    std::string err;
+    if (!server.start(&err)) {
+      state.SkipWithError(("server start failed: " + err).c_str());
+      return;
+    }
+
+    // Mixed steady-state: every client needs the cold compute exactly
+    // once (whoever lands first pays it; the identical racing submits
+    // coalesce onto it), then warm what-if sweeps dominate.
+    const int kClients = 3;
+    std::vector<std::vector<service::WhatIfQuery>> work(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      work[c].push_back(base);  // identical -> cold once + coalesce/warm
+      for (int i = 0; i < 3; ++i) {
+        service::WhatIfQuery q = base;
+        q.has_bound = true;
+        q.scenario_bound_v = 0.12 + 0.01 * (c * 3 + i);
+        work[c].push_back(q);
+      }
+    }
+    const WorkloadResult r = run_clients(server.socket_path(), work);
+    set_counters(state, r, server.stats());
+    maybe_dump_metrics(server);
+    server.stop();
+    if (r.failures > 0) {
+      state.SkipWithError("service requests failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ServiceMixedIbm01)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

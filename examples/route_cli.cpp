@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
 #include "core/experiment.h"
 #include "core/session.h"
 #include "netlist/ispd98.h"
@@ -44,6 +46,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "router/route_types.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "store/artifact_store.h"
 #include "util/csv.h"
 #include "util/table_printer.h"
@@ -75,6 +79,9 @@ struct CliOptions {
   std::string trace_out;
   std::string metrics_out;
   bool profile = false;
+  std::string serve_path;    // --serve: run the what-if daemon
+  std::string connect_path;  // --connect: query a running daemon
+  int serve_workers = 2;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -116,7 +123,17 @@ struct CliOptions {
       "                           counters, store stats, resource gauges) as\n"
       "                           JSON\n"
       "  --profile                print a per-span-name profile table\n"
-      "                           (count / total / mean) after the run\n",
+      "                           (count / total / mean) after the run\n"
+      "  --serve SOCK             run the what-if daemon on a Unix socket\n"
+      "                           instead: hot FlowSessions, coalescing,\n"
+      "                           admission control (src/service/README.md).\n"
+      "                           The circuit flags preload one session;\n"
+      "                           --store-dir attaches the shared store\n"
+      "  --serve-workers N        daemon compute threads (default 2)\n"
+      "  --connect SOCK           submit the query the circuit flags\n"
+      "                           describe to a running daemon and print\n"
+      "                           the reply; exits non-zero on transport\n"
+      "                           error or a failed/rejected job\n",
       argv0);
   std::exit(2);
 }
@@ -127,27 +144,6 @@ bool parse_pair(const char* s, double& a, double& b) {
   if (end == s || (*end != 'x' && *end != 'X')) return false;
   b = std::strtod(end + 1, nullptr);
   return a > 0 && b > 0;
-}
-
-/// FNV-1a over the flow's final per-net state (LSK/noise bit patterns,
-/// shields, violation counts): one u64 that moves iff the output moved.
-/// Deterministic across --threads values by the src/parallel and
-/// parallel/speculate.h contracts — CI's multi-thread smoke pins the
-/// printed value against a threads=1 run.
-std::uint64_t state_fingerprint(const FlowResult& fr) {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  for (double v : fr.net_lsk()) mix(std::bit_cast<std::uint64_t>(v));
-  for (double v : fr.net_noise()) mix(std::bit_cast<std::uint64_t>(v));
-  mix(std::bit_cast<std::uint64_t>(fr.total_shields));
-  mix(fr.violating);
-  mix(fr.unfixable);
-  return h;
 }
 
 void report(const FlowResult& fr, const RoutingProblem& problem,
@@ -166,6 +162,160 @@ void report(const FlowResult& fr, const RoutingProblem& problem,
                 static_cast<unsigned long long>(router::route_hash(fr.routing())),
                 static_cast<unsigned long long>(state_fingerprint(fr)));
   }
+}
+
+// ---- service modes (--serve / --connect) ------------------------------
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// The WhatIfQuery the circuit flags describe. The service speaks problem
+/// recipes, not netlist files, so --net has no service equivalent.
+bool query_from(const CliOptions& opt, service::WhatIfQuery* q) {
+  if (!opt.net_path.empty()) {
+    std::fprintf(stderr, "--net cannot be served: the daemon assembles "
+                         "problems from recipes, not files\n");
+    return false;
+  }
+  if (!opt.ispd98_class.empty()) {
+    q->source = service::QuerySource::kIspd98;
+    q->circuit = opt.ispd98_class;
+  } else {
+    q->source = service::QuerySource::kSynthetic;
+    q->circuit = opt.circuit;
+  }
+  q->scale = opt.scale;
+  q->rate = opt.rate;
+  q->bound_v = opt.bound_v;
+  q->seed = opt.seed;
+  if (opt.flow == "idno") {
+    q->flow = 0;
+  } else if (opt.flow == "isino") {
+    q->flow = 1;
+  } else if (opt.flow == "gsino") {
+    q->flow = 2;
+  } else {
+    std::fprintf(stderr, "--flow %s is not a single service flow "
+                         "(use idno|isino|gsino)\n", opt.flow.c_str());
+    return false;
+  }
+  return true;
+}
+
+int run_serve(const CliOptions& opt) {
+  service::ServerOptions so;
+  so.socket_path = opt.serve_path;
+  so.workers = opt.serve_workers;
+  so.job_threads = opt.threads;
+  if (!opt.store_dir.empty()) {
+    try {
+      so.store = std::make_shared<store::ArtifactStore>(
+          opt.store_dir, store::StoreOptions{opt.store_max_bytes});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  service::Server server(std::move(so));
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "cannot serve: %s\n", err.c_str());
+    return 1;
+  }
+  service::WhatIfQuery preload;
+  if (query_from(opt, &preload)) {
+    if (server.preload(preload, &err)) {
+      std::printf("preloaded session: %s @ scale %.2f\n",
+                  preload.circuit.c_str(), preload.scale);
+    } else {
+      std::fprintf(stderr, "warning: preload failed: %s\n", err.c_str());
+    }
+  }
+  std::printf("serving on %s (%d workers) — SIGINT/SIGTERM to stop\n",
+              server.socket_path().c_str(), opt.serve_workers);
+  std::fflush(stdout);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    const timespec tick{0, 200'000'000};
+    nanosleep(&tick, nullptr);
+  }
+  server.stop();
+  const service::ServiceStats s = server.stats();
+  std::printf("served %zu submits: %zu executed, %zu coalesced, "
+              "%zu rejected, %zu failed\n",
+              s.submits, s.jobs_executed, s.coalesce_hits,
+              s.rejected_queue_full + s.rejected_inflight_cap +
+                  s.rejected_bad_query,
+              s.jobs_failed);
+  return 0;
+}
+
+int run_connect(const CliOptions& opt) {
+  service::WhatIfQuery base;
+  if (!query_from(opt, &base)) return 2;
+
+  service::Client client;
+  std::string err;
+  if (!client.connect(opt.connect_path, &err)) {
+    std::fprintf(stderr, "connect failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  // A --sweep-bound list becomes one what-if query per bound, exercising
+  // the daemon's hot session exactly like a local Scenario sweep.
+  std::vector<service::WhatIfQuery> queries;
+  if (opt.sweep_bounds.empty()) {
+    queries.push_back(base);
+  } else {
+    for (const double bound : opt.sweep_bounds) {
+      service::WhatIfQuery q = base;
+      q.has_bound = true;
+      q.scenario_bound_v = bound;
+      queries.push_back(q);
+    }
+  }
+
+  static const char* kFlowNames[] = {"idno", "isino", "gsino"};
+  for (const service::WhatIfQuery& q : queries) {
+    service::SubmitAck ack;
+    if (!client.submit(q, &ack, &err)) {
+      std::fprintf(stderr, "submit failed: %s\n", err.c_str());
+      return 1;
+    }
+    if (ack.reject != service::RejectReason::kNone) {
+      std::fprintf(stderr, "submit rejected (reason %d)\n",
+                   static_cast<int>(ack.reject));
+      return 1;
+    }
+    service::Result res;
+    if (!client.wait(ack.ticket, &res, &err)) {
+      std::fprintf(stderr, "poll failed: %s\n", err.c_str());
+      return 1;
+    }
+    if (res.state != service::JobState::kDone) {
+      std::fprintf(stderr, "job %llu did not complete: %s\n",
+                   static_cast<unsigned long long>(ack.ticket),
+                   res.error.empty() ? "not done" : res.error.c_str());
+      return 1;
+    }
+    const service::FlowSummary& fs = res.summary;
+    std::printf(
+        "%-6s @ %.2f V | violations %5llu | avg WL %7.1f um | "
+        "shields %7.0f | route %.1fs sino %.1fs refine %.1fs | "
+        "%.2fs on server%s%s\n",
+        kFlowNames[fs.flow], fs.bound_v,
+        static_cast<unsigned long long>(fs.violating), fs.avg_wirelength_um,
+        fs.total_shields, fs.route_s, fs.sino_s, fs.refine_s, fs.compute_s,
+        fs.warm != 0 ? " [warm]" : "", ack.coalesced != 0 ? " [coalesced]" : "");
+    if (opt.fingerprint) {
+      std::printf("fingerprint %s @ %.2f: route=%016llx state=%016llx\n",
+                  kFlowNames[fs.flow], fs.bound_v,
+                  static_cast<unsigned long long>(fs.route_hash),
+                  static_cast<unsigned long long>(fs.state_hash));
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -233,10 +383,19 @@ int main(int argc, char** argv) {
       opt.metrics_out = next();
     } else if (!std::strcmp(argv[i], "--profile")) {
       opt.profile = true;
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      opt.serve_path = next();
+    } else if (!std::strcmp(argv[i], "--serve-workers")) {
+      opt.serve_workers = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--connect")) {
+      opt.connect_path = next();
     } else {
       usage(argv[0]);
     }
   }
+
+  if (!opt.serve_path.empty()) return run_serve(opt);
+  if (!opt.connect_path.empty()) return run_connect(opt);
 
   GsinoParams params;
   params.sensitivity_rate = opt.rate;

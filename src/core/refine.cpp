@@ -404,7 +404,13 @@ void LocalRefiner::eliminate_violations(FlowState& fs, RefineStats& stats,
   std::unordered_set<std::size_t> gave_up;
 
   const int threads = parallel::resolve_threads(options.threads);
-  const bool spec_on = options.speculate_batch > 1 && threads > 1;
+  // speculate_batch > 1 = fixed width, 0 = adaptive width, 1 or negative
+  // = off (see RefineOptions::speculate_batch in core/session.h).
+  const bool spec_on =
+      (options.speculate_batch > 1 || options.speculate_batch == 0) &&
+      threads > 1;
+  const bool spec_adaptive = spec_on && options.speculate_batch == 0;
+  parallel::AdaptiveBatch adaptive_batch;
 
   // Version counters for snapshot validation (spec only): sol_ver[si]
   // advances when region si's state (solution, Kth, shields) changes;
@@ -488,10 +494,16 @@ void LocalRefiner::eliminate_violations(FlowState& fs, RefineStats& stats,
                      [&](std::size_t a, std::size_t b) {
                        return fs.net_noise[a] > fs.net_noise[b];
                      });
-    const std::size_t k = std::min(
-        {cand.size(), static_cast<std::size_t>(options.speculate_batch),
-         static_cast<std::size_t>(params.lr_max_outer_pass1 - outer)});
+    const std::size_t width = static_cast<std::size_t>(
+        spec_adaptive ? adaptive_batch.width() : options.speculate_batch);
+    const std::size_t k =
+        std::min({cand.size(), width,
+                  static_cast<std::size_t>(params.lr_max_outer_pass1 - outer)});
     cand.resize(k);
+    const auto round_before = parallel::SpecStats{
+        static_cast<std::size_t>(stats.spec_attempted),
+        static_cast<std::size_t>(stats.spec_committed),
+        static_cast<std::size_t>(stats.spec_replayed)};
 
     std::vector<SpecView> views;
     views.reserve(k);
@@ -541,6 +553,15 @@ void LocalRefiner::eliminate_violations(FlowState& fs, RefineStats& stats,
       }
       finish(worst, fixed);
       ++outer;
+    }
+    if (spec_adaptive) {
+      adaptive_batch.update(parallel::SpecStats{
+          static_cast<std::size_t>(stats.spec_attempted) -
+              round_before.attempted,
+          static_cast<std::size_t>(stats.spec_committed) -
+              round_before.committed,
+          static_cast<std::size_t>(stats.spec_replayed) -
+              round_before.replayed});
     }
   }
   fs.unfixable = gave_up.size();

@@ -12,6 +12,7 @@
 #include "sino/anneal.h"
 #include "sino/batch.h"
 #include "sino/greedy.h"
+#include "util/hash.h"
 #include "util/stopwatch.h"
 
 namespace rlcr::gsino {
@@ -751,6 +752,16 @@ FlowResult FlowSession::run(FlowKind kind, const Scenario& scenario) {
     refined = refine(sv, scenario.refine);
   }
   return assemble(kind, std::move(sv), std::move(refined));
+}
+
+std::uint64_t state_fingerprint(const FlowResult& fr) {
+  util::Fnv1a64 h;
+  for (const double v : fr.net_lsk()) h.f64(v);
+  for (const double v : fr.net_noise()) h.f64(v);
+  h.f64(fr.total_shields);
+  h.u64(fr.violating);
+  h.u64(fr.unfixable);
+  return h.value();
 }
 
 }  // namespace rlcr::gsino

@@ -271,8 +271,10 @@ struct RefineOptions {
   /// memoized attempt only after its recorded read set (regions + LSK
   /// entries) is proven untouched by earlier commits, and replays the rest
   /// serially. Refined state is bit-identical at every
-  /// (threads, speculate_batch) combination; <= 1 — or an effective thread
-  /// count of 1 — disables speculation (the exact serial path).
+  /// (threads, speculate_batch) combination; 0 selects an adaptive width
+  /// (parallel::AdaptiveBatch — deterministic for a fixed thread count);
+  /// 1 or negative — or an effective thread count of 1 — disables
+  /// speculation (the exact serial path).
   int speculate_batch = 8;
 };
 
@@ -333,6 +335,14 @@ struct FlowResult {
     return sol_index_of(region, d);
   }
 };
+
+/// FNV-1a over the flow's final per-net state (LSK/noise bit patterns,
+/// shields, violation counts): one u64 that moves iff the output moved.
+/// Deterministic across thread counts by the src/parallel and
+/// parallel/speculate.h contracts — route_cli prints it, the service
+/// returns it on the wire, and CI's multi-thread smoke pins it against a
+/// threads=1 run.
+std::uint64_t state_fingerprint(const FlowResult& fr);
 
 // --------------------------------------------------------------- FlowState
 

@@ -120,7 +120,7 @@ void append_metrics(MetricsSnapshot& out, const gsino::RefineStats& s) {
 
 void append_metrics(MetricsSnapshot& out, const store::StoreStats& s) {
   static_assert(sizeof(store::StoreStats) ==
-                    6 * sizeof(std::size_t) + 2 * sizeof(std::uintmax_t),
+                    7 * sizeof(std::size_t) + 2 * sizeof(std::uintmax_t),
                 "StoreStats changed: update this adapter and the "
                 "completeness test in tests/obs_test.cpp");
   const auto n = [](std::uintmax_t v) { return static_cast<double>(v); };
@@ -130,6 +130,7 @@ void append_metrics(MetricsSnapshot& out, const store::StoreStats& s) {
   out.set_counter("store.evictions", n(s.evictions));
   out.set_counter("store.rejected", n(s.rejected));
   out.set_counter("store.put_failures", n(s.put_failures));
+  out.set_counter("store.lock_waits", n(s.lock_waits));
   out.set_counter("store.bytes_written", n(s.bytes_written));
   out.set_counter("store.bytes_read", n(s.bytes_read));
 }

@@ -38,6 +38,7 @@
 // the two integrations.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -116,6 +117,60 @@ class ReadSet {
 
  private:
   std::vector<std::pair<std::uint64_t, std::uint32_t>> reads_;
+};
+
+/// Deterministic controller for the speculative batch width, driven purely
+/// by the per-round SpecStats deltas: grow (double) while the commit rate
+/// stays high — deep batches are paying off — and shrink (halve) on a
+/// replay storm, where earlier commits keep invalidating later memos and
+/// most of the fan-out is wasted. Mispredictions depress the commit rate
+/// without counting as replays, so a loop whose snapshot selection guesses
+/// poorly simply stops growing rather than oscillating.
+///
+/// Determinism: the inputs (round deltas) are themselves deterministic for
+/// a fixed thread count, and the update rule reads nothing else — so the
+/// width trajectory, and with it every snapshot boundary, is reproducible
+/// run to run. Selected by `speculate_batch = 0` at both call sites
+/// (router/id_router.h, core/session.h); fixed widths >= 2 bypass the
+/// controller entirely, and the defaults keep it off so goldens and the
+/// existing determinism matrix are unchanged.
+struct AdaptiveBatchOptions {
+  int initial = 8;
+  int min_batch = 2;
+  int max_batch = 64;
+  /// Grow when committed/attempted >= this...
+  double grow_commit_rate = 0.60;
+  /// ...shrink when replayed/attempted >= this; shrink wins when both hold.
+  double shrink_replay_rate = 0.50;
+};
+
+class AdaptiveBatch {
+ public:
+  explicit AdaptiveBatch(AdaptiveBatchOptions options = {})
+      : options_(options), width_(options.initial) {}
+
+  /// The batch width the next speculative round should snapshot.
+  int width() const { return width_; }
+  int max_width() const { return options_.max_batch; }
+
+  /// Folds one round's counter deltas into the width. Rounds that fanned
+  /// nothing out (all candidates were satisfied without evaluation) carry
+  /// no signal and leave the width unchanged.
+  void update(const SpecStats& round) {
+    if (round.attempted == 0) return;
+    const double attempted = static_cast<double>(round.attempted);
+    if (static_cast<double>(round.replayed) / attempted >=
+        options_.shrink_replay_rate) {
+      width_ = std::max(options_.min_batch, width_ / 2);
+    } else if (static_cast<double>(round.committed) / attempted >=
+               options_.grow_commit_rate) {
+      width_ = std::min(options_.max_batch, width_ * 2);
+    }
+  }
+
+ private:
+  AdaptiveBatchOptions options_;
+  int width_;
 };
 
 }  // namespace rlcr::parallel

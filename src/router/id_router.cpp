@@ -645,7 +645,12 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   // inputs a deletability BFS and its certified pin paths read;
   // region_epoch advances with every stats change of a (region, dir) —
   // the inputs of a cached Eq. (2) weight.
-  const bool spec_on = options_.speculate_batch > 1 && threads > 1;
+  // speculate_batch > 1 = fixed width, 0 = adaptive width (the
+  // parallel::AdaptiveBatch controller below), 1 or negative = off.
+  const bool spec_on =
+      (options_.speculate_batch > 1 || options_.speculate_batch == 0) &&
+      threads > 1;
+  const bool spec_adaptive = spec_on && options_.speculate_batch == 0;
   std::vector<std::uint32_t> net_touch(works.size(), 0);
   grid::TiledVec<std::uint32_t> region_epoch;
   if (spec_on) region_epoch.reset(region_count * 2, storage);
@@ -960,11 +965,17 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
     bool ok = false;      ///< BFS verdict (valid only when do_bfs)
     std::vector<std::int32_t> cert_path;  ///< pin paths when ok
   };
-  const int spec_batch = spec_on ? options_.speculate_batch : 1;
+  parallel::AdaptiveBatch adaptive_batch;
+  int spec_batch = !spec_on             ? 1
+                   : spec_adaptive      ? adaptive_batch.width()
+                                        : options_.speculate_batch;
   std::vector<SpecMemo> memos;
   std::vector<BfsScratch> spec_scratch;
   if (spec_on) {
-    memos.resize(static_cast<std::size_t>(spec_batch));
+    // Memo slots sized for the widest batch the controller can reach, so
+    // adaptive growth never reallocates mid-loop.
+    memos.resize(static_cast<std::size_t>(
+        spec_adaptive ? adaptive_batch.max_width() : spec_batch));
     spec_scratch.resize(static_cast<std::size_t>(threads));
     for (BfsScratch& sc : spec_scratch) sc.init(max_vertices, max_edges);
   }
@@ -1043,7 +1054,16 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   phase_span.emplace("router.deletion", "router");
   phase_span->arg("candidates", static_cast<double>(heap.size()));
   while (!heap.empty()) {
-    if (spec_on) speculate_round();
+    parallel::SpecStats round_before;
+    if (spec_on) {
+      if (spec_adaptive) {
+        spec_batch = adaptive_batch.width();
+        round_before = parallel::SpecStats{result.stats.spec_attempted,
+                                           result.stats.spec_committed,
+                                           result.stats.spec_replayed};
+      }
+      speculate_round();
+    }
     for (int step = 0; !heap.empty() && (!spec_on || step < spec_batch);
          ++step) {
     const auto [gid, stored] = heap.top();
@@ -1166,6 +1186,12 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
         wk.weight_applied[d] = target;
       }
     }
+    }
+    if (spec_adaptive) {
+      adaptive_batch.update(parallel::SpecStats{
+          result.stats.spec_attempted - round_before.attempted,
+          result.stats.spec_committed - round_before.committed,
+          result.stats.spec_replayed - round_before.replayed});
     }
   }
 

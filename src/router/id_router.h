@@ -124,8 +124,11 @@ struct IdRouterOptions {
   /// only after version counters prove no earlier commit touched its
   /// inputs, and recomputes the rest serially. Routes are therefore
   /// bit-identical at every (threads, speculate_batch) combination;
-  /// <= 1 — or threads == 1 — disables speculation entirely (the exact
-  /// serial path). Like `threads`, never part of the routing profile.
+  /// 0 selects an adaptive width (parallel::AdaptiveBatch grows the batch
+  /// while the commit rate stays high and halves it on replay storms —
+  /// still deterministic for a fixed thread count); 1 or negative — or
+  /// threads == 1 — disables speculation entirely (the exact serial
+  /// path). Like `threads`, never part of the routing profile.
   int speculate_batch = 8;
 
  private:

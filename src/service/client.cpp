@@ -1,0 +1,149 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rlcr::service {
+
+namespace {
+
+void set_error(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+  client_id_ = 0;
+}
+
+template <typename Req, typename Resp>
+bool Client::roundtrip(const Req& request, Resp* response,
+                       std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  if (!send_frame(fd_, encode(request))) {
+    set_error(error, "send failed: " + std::string(strerror(errno)));
+    close();
+    return false;
+  }
+  Frame frame;
+  switch (reader_->next(&frame)) {
+    case FrameReader::Status::kFrame:
+      break;
+    case FrameReader::Status::kClosed:
+      set_error(error, "server closed the connection");
+      close();
+      return false;
+    case FrameReader::Status::kBad:
+      set_error(error, "malformed frame from server");
+      close();
+      return false;
+    case FrameReader::Status::kError:
+      set_error(error, "recv failed: " + std::string(strerror(errno)));
+      close();
+      return false;
+  }
+  if (frame.type == PduType::kError) {
+    const std::optional<Error> err = decode<Error>(frame);
+    set_error(error, err ? "server error: " + err->message
+                         : "undecodable server error");
+    close();
+    return false;
+  }
+  const std::optional<Resp> decoded = decode<Resp>(frame);
+  if (!decoded) {
+    set_error(error, "unexpected or undecodable response PDU");
+    close();
+    return false;
+  }
+  *response = *decoded;
+  return true;
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path) {
+    set_error(error, "socket path empty or too long for sockaddr_un");
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    set_error(error, "socket(): " + std::string(strerror(errno)));
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    set_error(error,
+              "connect(" + socket_path + "): " + std::string(strerror(errno)));
+    close();
+    return false;
+  }
+  reader_ = std::make_unique<FrameReader>(fd_);
+
+  Hello hello;
+  hello.client_name = "rlcr-client";
+  HelloAck ack;
+  if (!roundtrip(hello, &ack, error)) return false;
+  if (ack.protocol_version != kProtocolVersion) {
+    set_error(error, "server speaks protocol version " +
+                         std::to_string(ack.protocol_version));
+    close();
+    return false;
+  }
+  client_id_ = ack.client_id;
+  return true;
+}
+
+bool Client::submit(const WhatIfQuery& query, SubmitAck* ack,
+                    std::string* error) {
+  Submit req;
+  req.query = query;
+  return roundtrip(req, ack, error);
+}
+
+bool Client::poll(std::uint64_t ticket, std::uint32_t wait_ms, Result* result,
+                  std::string* error) {
+  Poll req;
+  req.ticket = ticket;
+  req.wait_ms = wait_ms;
+  return roundtrip(req, result, error);
+}
+
+bool Client::wait(std::uint64_t ticket, Result* result, std::string* error) {
+  for (;;) {
+    if (!poll(ticket, /*wait_ms=*/1000, result, error)) return false;
+    if (result->state != JobState::kQueued &&
+        result->state != JobState::kRunning) {
+      return true;
+    }
+  }
+}
+
+bool Client::cancel(std::uint64_t ticket, CancelAck* ack,
+                    std::string* error) {
+  Cancel req;
+  req.ticket = ticket;
+  return roundtrip(req, ack, error);
+}
+
+bool Client::stats(StatsReply* reply, std::string* error) {
+  return roundtrip(Stats{}, reply, error);
+}
+
+}  // namespace rlcr::service

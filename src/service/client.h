@@ -1,0 +1,66 @@
+// Blocking client for the what-if daemon (service/server.h): connects to
+// the Unix-domain socket, performs the Hello handshake, then exchanges
+// request/response PDUs. One Client is one connection and is NOT
+// thread-safe — concurrency is modelled as many clients (as in
+// bench/bench_service.cpp), matching the server's one-reader-per-
+// connection execution model.
+//
+// Every call reports transport or protocol failures through its bool
+// return plus an *error string; a server-sent Error PDU is surfaced the
+// same way (the server closes the connection after sending one).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace rlcr::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  ///< close()s
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and completes the Hello handshake (version-gated by the
+  /// server). False on socket, transport, or handshake failure.
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  std::uint64_t client_id() const { return client_id_; }
+  void close();
+
+  /// Submits a query; *ack carries the ticket or the rejection reason.
+  /// Returns false only on transport failure — a rejected Submit is a
+  /// successful exchange.
+  bool submit(const WhatIfQuery& query, SubmitAck* ack,
+              std::string* error = nullptr);
+
+  /// One Poll exchange; the server blocks up to wait_ms before answering.
+  bool poll(std::uint64_t ticket, std::uint32_t wait_ms, Result* result,
+            std::string* error = nullptr);
+
+  /// Polls until the job is terminal (done/failed/cancelled).
+  bool wait(std::uint64_t ticket, Result* result,
+            std::string* error = nullptr);
+
+  bool cancel(std::uint64_t ticket, CancelAck* ack,
+              std::string* error = nullptr);
+
+  bool stats(StatsReply* reply, std::string* error = nullptr);
+
+ private:
+  /// Sends `request`, reads one frame, decodes it as Resp. A kError frame
+  /// becomes a false return with the server's message in *error.
+  template <typename Req, typename Resp>
+  bool roundtrip(const Req& request, Resp* response, std::string* error);
+
+  int fd_ = -1;
+  std::uint64_t client_id_ = 0;
+  std::unique_ptr<FrameReader> reader_;
+};
+
+}  // namespace rlcr::service

@@ -1,0 +1,155 @@
+// The what-if daemon: a long-lived server owning hot FlowSessions plus one
+// shared ArtifactStore, answering concurrent what-if queries from many
+// clients over the typed wire protocol (service/protocol.h) on a
+// Unix-domain socket.
+//
+// Execution model
+//   - one accept loop thread; one reader thread per connection (requests
+//     on a connection are handled in arrival order; Submit returns
+//     immediately with a ticket, Poll can block-wait server-side);
+//   - `workers` dedicated compute threads drain the job queue. Dispatch is
+//     fair FIFO across clients: a round-robin cursor walks the per-client
+//     queues, so one chatty client cannot starve the rest;
+//   - admission control: a bounded pending queue (kQueueFull) and a
+//     per-client unfinished-job cap (kInflightCap) reject at Submit time —
+//     the client sees the rejection reason instead of unbounded latency.
+//
+// Request coalescing: jobs are keyed by query_coalesce_key (problem recipe
+// + flow + scenario). A Submit whose key matches a queued or running job
+// attaches to that job's ticket instead of enqueueing a second compute —
+// both clients receive the identical FlowSummary. Once a job completes its
+// key is retired: a later identical Submit is a fresh job that re-runs
+// through the session's in-memory artifact cache (cheap, and metrics then
+// show the reuse as session.* requests without executes).
+//
+// Session LRU: sessions are keyed by query_session_key (the problem
+// recipe, flow/scenario excluded), each entry owning its RoutingProblem +
+// FlowSession. All sessions share the server's one ArtifactStore, so an
+// evicted-and-recreated session warm-starts from disk. FlowSession is not
+// internally synchronized; each entry carries a run mutex serializing the
+// jobs that land on it (jobs on different sessions run concurrently).
+//
+// Determinism: a job executes exactly the calls a direct in-process run
+// makes — assemble_problem() + FlowSession::run(flow, scenario) — so every
+// response is bit-identical to a local run of the same query (the service
+// integration test pins this against the session goldens).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "service/protocol.h"
+
+namespace rlcr::gsino {
+class RoutingProblem;
+struct Scenario;
+struct FlowResult;
+}  // namespace rlcr::gsino
+
+namespace rlcr::store {
+class ArtifactStore;
+}
+
+namespace rlcr::service {
+
+struct ServerOptions {
+  /// Unix-domain socket path the server binds (unlinked on stop). Paths
+  /// must fit sockaddr_un (~100 bytes) — start() fails loudly otherwise.
+  std::string socket_path;
+  /// Dedicated compute threads draining the job queue.
+  int workers = 2;
+  /// Threads knob forwarded into each session's stages (GsinoParams
+  /// threads / router.threads). Output-invariant by the parallel
+  /// contracts; 0 = auto.
+  int job_threads = 0;
+  /// Hot-session LRU capacity (distinct problem recipes held in memory).
+  std::size_t max_sessions = 4;
+  /// Bounded pending queue across all clients (admission control).
+  std::size_t max_queue = 64;
+  /// Per-client unfinished-job cap (admission control).
+  std::size_t max_inflight_per_client = 8;
+  /// Optional shared artifact store attached to every session.
+  std::shared_ptr<store::ArtifactStore> store;
+};
+
+/// Server-internal counters, surfaced as service.* metrics and through the
+/// Stats PDU.
+struct ServiceStats {
+  std::size_t connections_opened = 0;
+  std::size_t connections_open = 0;  ///< gauge
+  std::size_t submits = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_inflight_cap = 0;
+  std::size_t rejected_bad_query = 0;
+  std::size_t coalesce_hits = 0;
+  std::size_t jobs_executed = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t sessions_created = 0;
+  std::size_t sessions_evicted = 0;
+  std::size_t session_warm_hits = 0;  ///< job landed on an existing session
+  std::size_t queue_depth = 0;        ///< gauge: currently queued jobs
+  std::size_t queue_peak = 0;
+  std::size_t malformed_frames = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept loop + workers. False (with a
+  /// reason in *error) on bind/listen failure; the server is then inert.
+  bool start(std::string* error = nullptr);
+
+  /// Stops accepting, fails queued jobs, joins every thread, unlinks the
+  /// socket. Idempotent. Running jobs complete before their worker joins.
+  void stop();
+
+  bool running() const;
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// Pre-assembles the session for `query` so the first real request
+  /// finds it hot (and pinned most-recent in the LRU). False when the
+  /// query's problem cannot be assembled.
+  bool preload(const WhatIfQuery& query, std::string* error = nullptr);
+
+  ServiceStats stats() const;
+  /// service.* counters/gauges plus the aggregated session.* stage
+  /// counters and the attached store's store.* stats.
+  obs::MetricsSnapshot metrics() const;
+
+ private:
+  struct Impl;
+  ServerOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ------------------------------------------- shared query interpretation
+//
+// The one place a WhatIfQuery becomes flow inputs — used by the server's
+// workers, route_cli --connect's direct-run fallback messaging, and the
+// bit-identity tests. Keeping it here (not in the server internals) is
+// what makes "service response == direct run" checkable by construction.
+
+/// Assembles the RoutingProblem a query names; null (with a reason in
+/// *error) for unknown circuits or degenerate parameters.
+std::unique_ptr<gsino::RoutingProblem> assemble_problem(
+    const WhatIfQuery& query, int job_threads = 0,
+    std::string* error = nullptr);
+
+/// The Scenario a query's override flags describe.
+gsino::Scenario scenario_of(const WhatIfQuery& query);
+
+/// Flattens a FlowResult into the wire summary (hashes + scalars). `warm`
+/// and `compute_s` are server-side execution facts, not flow outputs —
+/// the caller fills them.
+FlowSummary summarize(const gsino::FlowResult& result);
+
+}  // namespace rlcr::service

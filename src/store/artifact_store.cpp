@@ -11,6 +11,7 @@
 #include <string>
 
 #include "obs/trace.h"
+#include "util/file_lock.h"
 #include "util/hash.h"
 
 namespace rlcr::store {
@@ -72,8 +73,12 @@ ArtifactStore::ArtifactStore(fs::path dir, StoreOptions options)
     const auto age = fs::file_time_type::clock::now() - entry.last_write_time(fec);
     if (!fec && age > std::chrono::minutes(10)) fs::remove(entry.path(), fec);
   }
+  dir_lock_ = std::make_unique<util::FileLock>(dir_ / ".lock");
+  if (!dir_lock_->valid()) dir_lock_.reset();
   bytes_estimate_ = scan_bytes_locked();
 }
+
+ArtifactStore::~ArtifactStore() = default;
 
 std::uintmax_t ArtifactStore::scan_bytes_locked() const {
   std::uintmax_t total = 0;
@@ -241,6 +246,16 @@ void ArtifactStore::reject_locked(const fs::path& path,
 void ArtifactStore::evict_over_budget_locked(const fs::path& keep) {
   if (options_.max_bytes == 0) return;
   RLCR_TRACE_SPAN(span, "store.evict", "store");
+  // One evictor per directory at a time: another process (or another
+  // ArtifactStore on the same directory) mid-sweep would race this scan
+  // into double-counted deletions and a drifted estimate. In-process
+  // callers are already serialized by mu_, so the flock only ever waits
+  // on a *different* store instance.
+  const bool locked = dir_lock_ != nullptr;
+  if (locked && !dir_lock_->try_lock()) {
+    ++stats_.lock_waits;
+    dir_lock_->lock();
+  }
   struct Record {
     fs::path path;
     fs::file_time_type mtime;
@@ -260,6 +275,7 @@ void ArtifactStore::evict_over_budget_locked(const fs::path& keep) {
   }
   if (total <= options_.max_bytes) {
     bytes_estimate_ = total;  // re-sync: the estimate had drifted high
+    if (locked) dir_lock_->unlock();
     return;
   }
   std::sort(records.begin(), records.end(),
@@ -274,6 +290,7 @@ void ArtifactStore::evict_over_budget_locked(const fs::path& keep) {
     }
   }
   bytes_estimate_ = total;
+  if (locked) dir_lock_->unlock();
 }
 
 // --------------------------------------------------------------- typed IO

@@ -26,7 +26,11 @@
 // Eviction: when the directory's record bytes exceed StoreOptions::
 // max_bytes after a put, least-recently-used records are deleted until the
 // budget holds (the record just written is exempt). Recency is the file
-// mtime; loads touch it, so warm entries survive.
+// mtime; loads touch it, so warm entries survive. The delete-side sweep is
+// additionally serialized across processes by an advisory flock on
+// `<dir>/.lock` (util/file_lock.h) so a daemon and external CLI runs
+// sharing one directory never run concurrent sweeps over the same scan —
+// contended acquisitions are counted in StoreStats::lock_waits.
 #pragma once
 
 #include <atomic>
@@ -38,6 +42,10 @@
 #include <vector>
 
 #include "store/serial.h"
+
+namespace rlcr::util {
+class FileLock;
+}
 
 namespace rlcr::store {
 
@@ -54,6 +62,7 @@ struct StoreStats {
   std::size_t evictions = 0;   ///< records deleted by the LRU budget
   std::size_t rejected = 0;    ///< records that failed load validation
   std::size_t put_failures = 0;  ///< publishes that could not be written
+  std::size_t lock_waits = 0;  ///< eviction sweeps that waited on the flock
   std::uintmax_t bytes_written = 0;
   std::uintmax_t bytes_read = 0;
 };
@@ -67,6 +76,7 @@ class ArtifactStore {
   /// failures are non-fatal: the put is dropped and counted
   /// (StoreStats::put_failures), the session just recomputes.
   explicit ArtifactStore(std::filesystem::path dir, StoreOptions options = {});
+  ~ArtifactStore();
 
   const std::filesystem::path& dir() const { return dir_; }
   StoreStats stats() const;
@@ -115,6 +125,10 @@ class ArtifactStore {
 
   std::filesystem::path dir_;
   StoreOptions options_;
+  /// Advisory cross-process lock serializing the eviction sweep (see the
+  /// file comment); created after the directory exists, null only when the
+  /// lock file cannot be opened (sweeps then run unlocked, as before).
+  std::unique_ptr<util::FileLock> dir_lock_;
   mutable std::mutex mu_;
   StoreStats stats_;
   /// Running estimate of the directory's record bytes (guarded by mu_):

@@ -3,93 +3,15 @@
 #include <bit>
 #include <cstring>
 
+#include "util/binio.h"
 #include "util/hash.h"
 
 namespace rlcr::store {
 
 namespace {
 
-// ------------------------------------------------------- little-endian IO
-
-/// Appends little-endian primitives to a byte buffer.
-class BinaryWriter {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void f64_vec(const std::vector<double>& v) {
-    u64(v.size());
-    for (const double x : v) f64(x);
-  }
-
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-
- private:
-  std::vector<std::uint8_t> buf_;
-};
-
-/// Bounds-checked little-endian reads over a byte span. Any underrun sets
-/// the fail flag and makes every subsequent read return zero; callers
-/// check ok() once at the end instead of after every field.
-class BinaryReader {
- public:
-  BinaryReader(const std::uint8_t* data, std::size_t size)
-      : data_(data), size_(size) {}
-
-  std::uint8_t u8() {
-    if (pos_ >= size_) {
-      ok_ = false;
-      return 0;
-    }
-    return data_[pos_++];
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  /// Size prefix for a sequence of elements at least `elem_bytes` wide;
-  /// fails fast when the prefix alone exceeds the remaining bytes (a
-  /// corrupted length would otherwise drive a multi-gigabyte reserve).
-  std::uint64_t seq_size(std::size_t elem_bytes) {
-    const std::uint64_t n = u64();
-    if (elem_bytes != 0 && n > (size_ - std::min(pos_, size_)) / elem_bytes) {
-      ok_ = false;
-      return 0;
-    }
-    return n;
-  }
-  bool f64_vec(std::vector<double>& out) {
-    const std::uint64_t n = seq_size(8);
-    if (!ok_) return false;
-    out.resize(n);
-    for (auto& x : out) x = f64();
-    return ok_;
-  }
-
-  bool ok() const { return ok_; }
-  bool at_end() const { return ok_ && pos_ == size_; }
-
- private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
+using util::BinaryReader;
+using util::BinaryWriter;
 
 // ------------------------------------------------------------- the frame
 

@@ -1,0 +1,80 @@
+// RAII-owned advisory file lock (POSIX flock) used to coordinate mutually
+// destructive maintenance across *processes* sharing a directory — the
+// artifact-store eviction sweep is the one client today (a daemon plus
+// external route_cli runs may share one store directory). flock locks are
+// per open file description, so two FileLock instances contend even inside
+// one process, which is what makes the behaviour testable deterministically.
+//
+// Advisory means cooperating writers only: readers never take the lock, and
+// a process that skips it is not blocked — the store's atomic tmp+rename
+// publication keeps readers safe regardless; the lock only serializes the
+// delete-side sweep.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+
+namespace rlcr::util {
+
+class FileLock {
+ public:
+  /// Opens (creating if absent) the lock file; never throws. A failed open
+  /// leaves the lock in the invalid state where every operation is a no-op
+  /// that reports success — lock-averse degradation, matching the store's
+  /// policy that cache-layer failures must not fail the computation.
+  explicit FileLock(const std::filesystem::path& path) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  }
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  ~FileLock() {
+    if (fd_ >= 0) {
+      if (held_) ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  bool held() const { return held_; }
+
+  /// Non-blocking acquire; true when the lock is held on return (including
+  /// the invalid-fd no-op case).
+  bool try_lock() {
+    if (fd_ < 0) return true;
+    if (held_) return true;
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX | LOCK_NB);
+    } while (rc != 0 && errno == EINTR);
+    held_ = rc == 0;
+    return held_;
+  }
+
+  /// Blocking acquire.
+  void lock() {
+    if (fd_ < 0 || held_) return;
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    held_ = rc == 0;
+  }
+
+  void unlock() {
+    if (fd_ < 0 || !held_) return;
+    ::flock(fd_, LOCK_UN);
+    held_ = false;
+  }
+
+ private:
+  int fd_ = -1;
+  bool held_ = false;
+};
+
+}  // namespace rlcr::util

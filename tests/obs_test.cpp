@@ -303,6 +303,7 @@ TEST(Metrics, EveryStatsFieldAppearsInTheRegistryExactlyOnce) {
   st.evictions = v++;
   st.rejected = v++;
   st.put_failures = v++;
+  st.lock_waits = v++;
   st.bytes_written = v++;
   st.bytes_read = v++;
 
@@ -318,8 +319,8 @@ TEST(Metrics, EveryStatsFieldAppearsInTheRegistryExactlyOnce) {
   obs::append_metrics(snap, st);
   obs::append_metrics(snap, sp);
 
-  // 18 + 9 + 11 + 8 + 3 fields across the five structs.
-  EXPECT_EQ(snap.metrics().size(), 49u);
+  // 18 + 9 + 11 + 9 + 3 fields across the five structs.
+  EXPECT_EQ(snap.metrics().size(), 50u);
 
   const std::vector<std::pair<std::string, double>> expected = {
       {"session.route_requests", 1},
@@ -331,9 +332,10 @@ TEST(Metrics, EveryStatsFieldAppearsInTheRegistryExactlyOnce) {
       {"refine.pass1_nets_fixed", 27},
       {"refine.spec_replayed", 37},
       {"store.hits", 38},
-      {"store.bytes_read", 45},
-      {"spec.attempted", 46},
-      {"spec.replayed", 48},
+      {"store.lock_waits", 44},
+      {"store.bytes_read", 46},
+      {"spec.attempted", 47},
+      {"spec.replayed", 49},
   };
   for (const auto& [name, want] : expected) {
     EXPECT_TRUE(snap.has(name)) << name;

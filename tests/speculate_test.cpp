@@ -411,5 +411,101 @@ TEST(SpeculativeRoute, SessionSurfacesSpeculationCounters) {
             true);
 }
 
+// ------------------------------------------------- adaptive batch width
+
+TEST(AdaptiveBatch, GrowsOnCommitsShrinksOnReplayStorms) {
+  parallel::AdaptiveBatchOptions opt;
+  opt.initial = 8;
+  opt.min_batch = 2;
+  opt.max_batch = 32;
+  parallel::AdaptiveBatch ab(opt);
+  EXPECT_EQ(ab.width(), 8);
+  EXPECT_EQ(ab.max_width(), 32);
+
+  ab.update({.attempted = 0, .committed = 0, .replayed = 0});  // no-op round
+  EXPECT_EQ(ab.width(), 8);
+
+  ab.update({.attempted = 10, .committed = 8, .replayed = 1});  // high commit
+  EXPECT_EQ(ab.width(), 16);
+  ab.update({.attempted = 16, .committed = 14, .replayed = 0});
+  EXPECT_EQ(ab.width(), 32);
+  ab.update({.attempted = 32, .committed = 30, .replayed = 0});
+  EXPECT_EQ(ab.width(), 32);  // clamped at max_batch
+
+  ab.update({.attempted = 32, .committed = 10, .replayed = 20});  // storm
+  EXPECT_EQ(ab.width(), 16);
+  ab.update({.attempted = 16, .committed = 2, .replayed = 12});
+  EXPECT_EQ(ab.width(), 8);
+  ab.update({.attempted = 8, .committed = 0, .replayed = 8});
+  ab.update({.attempted = 8, .committed = 0, .replayed = 8});
+  ab.update({.attempted = 8, .committed = 0, .replayed = 8});
+  EXPECT_EQ(ab.width(), 2);  // clamped at min_batch
+
+  // Middling rounds (no threshold crossed) hold the width steady.
+  ab.update({.attempted = 10, .committed = 4, .replayed = 2});
+  EXPECT_EQ(ab.width(), 2);
+}
+
+TEST(AdaptiveBatch, RouteBatchZeroIsAdaptiveDeterministicAndBitIdentical) {
+  const grid::RegionGrid g = spec_grid();
+  const auto nets = spec_nets(g, 120, 5);
+
+  const router::RoutingResult serial = route_at(g, nets, 1, 8);
+  const std::uint64_t golden = router::route_hash(serial);
+
+  // speculate_batch == 0 selects the adaptive controller; the deletion
+  // loop's round deltas are deterministic at a fixed thread count, so the
+  // width trajectory — and with it every counter — must repeat exactly.
+  const router::RoutingResult a = route_at(g, nets, 2, 0);
+  const router::RoutingResult b = route_at(g, nets, 2, 0);
+  EXPECT_EQ(router::route_hash(a), golden);
+  EXPECT_EQ(router::route_hash(b), golden);
+  EXPECT_EQ(a.total_wirelength_um, serial.total_wirelength_um);
+  EXPECT_GT(a.stats.spec_attempted, 0u);
+  EXPECT_EQ(a.stats.spec_attempted, b.stats.spec_attempted);
+  EXPECT_EQ(a.stats.spec_committed, b.stats.spec_committed);
+  EXPECT_EQ(a.stats.spec_replayed, b.stats.spec_replayed);
+
+  // threads == 1 stays the exact serial path even at batch 0.
+  const router::RoutingResult one = route_at(g, nets, 1, 0);
+  EXPECT_EQ(router::route_hash(one), golden);
+  EXPECT_EQ(one.stats.spec_attempted, 0u);
+}
+
+TEST(AdaptiveBatch, RefineBatchZeroMatchesSerialBitForBit) {
+  const RefineFixture fx;
+  const gsino::RoutingProblem problem = fx.problem();
+  gsino::FlowSession session(problem);
+  const gsino::LocalRefiner refiner(problem);
+
+  gsino::FlowState serial = session.state(gsino::FlowKind::kGsino);
+  gsino::RefineStats serial_stats;
+  gsino::RefineOptions serial_opt;
+  serial_opt.threads = 1;
+  refiner.eliminate_violations(serial, serial_stats, serial_opt);
+  serial.refresh_noise();
+
+  gsino::FlowState fs = session.state(gsino::FlowKind::kGsino);
+  gsino::RefineStats stats;
+  gsino::RefineOptions opt;
+  opt.threads = 2;
+  opt.speculate_batch = 0;  // adaptive
+  refiner.eliminate_violations(fs, stats, opt);
+  fs.refresh_noise();
+
+  expect_states_identical(serial, fs, 2, 0);
+  EXPECT_EQ(stats.pass1_nets_fixed, serial_stats.pass1_nets_fixed);
+  EXPECT_EQ(stats.pass1_gave_up, serial_stats.pass1_gave_up);
+  EXPECT_GT(stats.spec_attempted, 0);
+
+  // And the adaptive run repeats its counter trajectory exactly.
+  gsino::FlowState again = session.state(gsino::FlowKind::kGsino);
+  gsino::RefineStats stats2;
+  refiner.eliminate_violations(again, stats2, opt);
+  EXPECT_EQ(stats.spec_attempted, stats2.spec_attempted);
+  EXPECT_EQ(stats.spec_committed, stats2.spec_committed);
+  EXPECT_EQ(stats.spec_replayed, stats2.spec_replayed);
+}
+
 }  // namespace
 }  // namespace rlcr

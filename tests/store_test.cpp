@@ -6,6 +6,7 @@
 // concurrent sessions sharing one store (exercised by the TSan CI job).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -16,6 +17,7 @@
 #include "core/session.h"
 #include "store/artifact_store.h"
 #include "store/serial.h"
+#include "util/file_lock.h"
 
 #include "golden_util.h"
 
@@ -408,6 +410,67 @@ TEST(ArtifactStore, EvictsLeastRecentlyUsedBeyondSizeBudget) {
   EXPECT_FALSE(store.get(store::ArtifactType::kRouting, 2).has_value());
   EXPECT_TRUE(store.get(store::ArtifactType::kRouting, 1).has_value());
   EXPECT_TRUE(store.get(store::ArtifactType::kRouting, 4).has_value());
+}
+
+TEST(ArtifactStore, EvictionContendsOnTheAdvisoryDirLock) {
+  // flock is per open file description, so an external FileLock on the
+  // store's .lock file contends with the store's own even in-process —
+  // which makes the cross-process eviction serialization deterministic to
+  // test: hold the lock, trigger an over-budget put, watch it block, then
+  // release and watch the sweep finish with lock_waits counted.
+  const fs::path dir = store_dir("dirlock");
+  store::StoreOptions opt;
+  opt.max_bytes = 2 * 1024 + 512;  // two records fit, the third overflows
+  store::ArtifactStore store(dir, opt);
+
+  const std::vector<std::uint8_t> blob(1024, 0x5C);
+  ASSERT_TRUE(store.put(store::ArtifactType::kRouting, 1, blob));
+  ASSERT_TRUE(store.put(store::ArtifactType::kRouting, 2, blob));
+  EXPECT_EQ(store.stats().lock_waits, 0u);  // under budget: no contention
+
+  util::FileLock external(dir / ".lock");
+  ASSERT_TRUE(external.valid());
+  ASSERT_TRUE(external.try_lock());
+  ASSERT_TRUE(external.held());
+
+  std::atomic<bool> done{false};
+  std::thread sweeper([&] {
+    // Over budget: the eviction sweep must wait for the external holder.
+    EXPECT_TRUE(store.put(store::ArtifactType::kRouting, 3, blob));
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(done.load()) << "eviction swept while the dir lock was held";
+  external.unlock();
+  sweeper.join();
+  EXPECT_TRUE(done.load());
+
+  const store::StoreStats stats = store.stats();
+  EXPECT_GE(stats.lock_waits, 1u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(store.bytes_on_disk(), opt.max_bytes);
+}
+
+TEST(FileLock, SecondInstanceContendsAndInvalidPathDegrades) {
+  const fs::path dir = store_dir("filelock");
+  fs::create_directories(dir);
+  util::FileLock a(dir / "l");
+  util::FileLock b(dir / "l");
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_TRUE(a.try_lock());
+  EXPECT_FALSE(b.try_lock()) << "distinct descriptions must contend";
+  a.unlock();
+  EXPECT_TRUE(b.try_lock());
+  b.unlock();
+
+  // Unopenable lock path: every operation is a no-op that reports success
+  // (cache-layer degradation must never fail the computation).
+  util::FileLock broken("/proc/definitely/not/writable/l");
+  EXPECT_FALSE(broken.valid());
+  EXPECT_TRUE(broken.try_lock());
+  broken.lock();
+  broken.unlock();
 }
 
 TEST(ArtifactStore, UnusableDirectoryFailsLoudlyAtConstruction) {

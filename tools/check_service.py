@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate the what-if service's observable surface (src/service/README.md).
+
+Usage: check_service.py SERVICE_METRICS.json [BENCH_service.json]
+
+SERVICE_METRICS.json is the server's unified metrics registry
+(`Server::metrics().write_json`, dumped by bench_service when
+RLCR_SERVICE_METRICS is set). Checks the MetricsSnapshot shape
+({"metrics":{name:{kind,value}}}) and pins the service.* key set the
+daemon exports alongside the aggregated session.* counters, with the
+gauge/counter kinds the docs promise. Sanity-checks the bookkeeping
+identities that hold for any completed run: accepted + rejected never
+exceeds submits (shutdown rejections carry no dedicated counter), and
+coalesce hits never exceed accepted submits.
+
+BENCH_service.json (optional) is bench_service's google-benchmark
+output. Every BM_Service* entry must carry the latency/efficiency
+counters (p50_ms / p99_ms / warm_hit_rate / coalesced / requests /
+failures) with p50 <= p99, warm_hit_rate in [0, 1], and zero failures —
+a load run that dropped requests is not a perf data point.
+
+Exit status 0 iff every check passes.
+"""
+
+import json
+import sys
+
+SERVICE_COUNTERS = [
+    "service.connections_opened", "service.submits", "service.accepted",
+    "service.rejected_queue_full", "service.rejected_inflight_cap",
+    "service.rejected_bad_query", "service.coalesce_hits",
+    "service.jobs_executed", "service.jobs_failed", "service.cancelled",
+    "service.sessions_created", "service.sessions_evicted",
+    "service.session_warm_hits", "service.queue_peak",
+    "service.malformed_frames",
+]
+SERVICE_GAUGES = [
+    "service.connections_open", "service.queue_depth",
+    "service.sessions_open",
+]
+BENCH_COUNTERS = ["p50_ms", "p99_ms", "warm_hit_rate", "coalesced",
+                  "requests", "failures"]
+
+errors = []
+
+
+def check(cond: bool, msg: str) -> None:
+    if not cond:
+        errors.append(msg)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_service: {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def check_metrics(path: str) -> None:
+    data = load(path)
+    metrics = data.get("metrics")
+    check(isinstance(metrics, dict) and metrics,
+          f"{path}: missing or empty 'metrics' object")
+    if not isinstance(metrics, dict):
+        return
+    for name in SERVICE_COUNTERS + SERVICE_GAUGES:
+        entry = metrics.get(name)
+        check(entry is not None, f"{path}: missing metric '{name}'")
+        if entry is None:
+            continue
+        want = "gauge" if name in SERVICE_GAUGES else "counter"
+        check(entry.get("kind") == want,
+              f"{path}: {name} kind is '{entry.get('kind')}', want '{want}'")
+        check(isinstance(entry.get("value"), (int, float))
+              and entry["value"] >= 0,
+              f"{path}: {name} value must be a non-negative number")
+
+    def value(name: str) -> float:
+        entry = metrics.get(name) or {}
+        v = entry.get("value", 0)
+        return float(v) if isinstance(v, (int, float)) else 0.0
+
+    submits = value("service.submits")
+    accepted = value("service.accepted")
+    rejected = (value("service.rejected_queue_full")
+                + value("service.rejected_inflight_cap")
+                + value("service.rejected_bad_query"))
+    # kShuttingDown rejections carry no dedicated counter, so <=.
+    check(accepted + rejected <= submits,
+          f"{path}: accepted ({accepted:g}) + rejected ({rejected:g}) "
+          f"> submits ({submits:g})")
+    check(value("service.coalesce_hits") <= accepted,
+          f"{path}: more coalesce hits than accepted submits")
+    # The daemon aggregates per-session stage counters; a server that
+    # executed jobs must show session.* work.
+    if value("service.jobs_executed") > 0:
+        check(value("session.solve_requests") > 0,
+              f"{path}: jobs executed but no session.* counters aggregated")
+
+
+def check_bench(path: str) -> None:
+    data = load(path)
+    entries = [b for b in data.get("benchmarks", [])
+               if b.get("name", "").startswith("BM_Service")]
+    check(bool(entries), f"{path}: no BM_Service* entries")
+    for b in entries:
+        name = b.get("name", "?")
+        for counter in BENCH_COUNTERS:
+            check(isinstance(b.get(counter), (int, float)),
+                  f"{path}: {name} missing counter '{counter}'")
+        p50, p99 = b.get("p50_ms", 0), b.get("p99_ms", 0)
+        if isinstance(p50, (int, float)) and isinstance(p99, (int, float)):
+            check(0 < p50 <= p99,
+                  f"{path}: {name} wants 0 < p50_ms ({p50:g}) <= "
+                  f"p99_ms ({p99:g})")
+        rate = b.get("warm_hit_rate", -1)
+        if isinstance(rate, (int, float)):
+            check(0.0 <= rate <= 1.0,
+                  f"{path}: {name} warm_hit_rate {rate:g} outside [0, 1]")
+        if isinstance(b.get("failures"), (int, float)):
+            check(b["failures"] == 0,
+                  f"{path}: {name} recorded {b['failures']:g} failed "
+                  "requests — not a valid perf data point")
+        if isinstance(b.get("requests"), (int, float)):
+            check(b["requests"] > 0, f"{path}: {name} served no requests")
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_metrics(argv[1])
+    if len(argv) == 3:
+        check_bench(argv[2])
+    if errors:
+        for e in errors:
+            print(f"check_service: {e}", file=sys.stderr)
+        sys.exit(1)
+    names = " and ".join(argv[1:])
+    print(f"check_service: {names} OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

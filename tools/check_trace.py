@@ -74,8 +74,8 @@ REQUIRED_METRICS = [
 # session; when any of them is present, all of them must be.
 STORE_METRICS = [
     "store.hits", "store.misses", "store.stores", "store.evictions",
-    "store.rejected", "store.put_failures", "store.bytes_written",
-    "store.bytes_read",
+    "store.rejected", "store.put_failures", "store.lock_waits",
+    "store.bytes_written", "store.bytes_read",
 ]
 
 

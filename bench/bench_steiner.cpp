@@ -1,0 +1,162 @@
+// Steiner quality -> routing ablation: every ISPD98 size class through
+// the staged GSINO flow once per tree profile (fast / balanced / best),
+// recording the tree-level cost (total tree length, construction wall
+// seconds, cache hit rate over the class's real pin sets) next to the
+// routed consequence (wirelength, violations, shields, overflow).
+//
+//   bench_steiner --benchmark_out=BENCH_steiner.json \
+//                 --benchmark_out_format=json
+//
+// CI merges the entries into BENCH_router.json (tools/merge_bench.py)
+// and gates them with tools/check_steiner.py: per-class profile curves
+// must be complete, tree lengths must obey best <= balanced <= fast,
+// and the fast tier must be a bit-identical no-op — its route hash has
+// to match a default-profile run (`fingerprint_match` below), which is
+// the claim every pre-existing golden rests on.
+//
+// Environment: RLCR_ISPD98_SCALE / RLCR_ISPD98_DIR as in bench_ispd98.
+#include <benchmark/benchmark.h>
+
+#include "build_type_context.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/session.h"
+#include "netlist/ispd98_synth.h"
+#include "router/route_types.h"
+#include "steiner/tree_builder.h"
+#include "steiner/tree_cache.h"
+
+using namespace rlcr;
+using namespace rlcr::gsino;
+
+namespace {
+
+double ispd98_scale() {
+  const char* env = std::getenv("RLCR_ISPD98_SCALE");
+  if (env == nullptr) return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return (end != env && v > 0.0 && v <= 1.0) ? v : 1.0;
+}
+
+std::vector<netlist::Ispd98ClassSpec>& classes() {
+  static std::vector<netlist::Ispd98ClassSpec> c =
+      netlist::ispd98_classes(ispd98_scale());
+  return c;
+}
+
+/// One prepared class, shared across its three profile runs. The default
+/// (profile-free) flow is run once and its route hash kept: the fast tier
+/// must reproduce it bit for bit.
+struct ClassContext {
+  netlist::Ispd98ClassSpec spec;
+  std::unique_ptr<RoutingProblem> problem;
+  std::uint64_t default_route_hash = 0;
+  bool real = false;
+};
+
+ClassContext& context_for(std::size_t idx) {
+  static std::vector<std::unique_ptr<ClassContext>> cache(classes().size());
+  if (cache[idx] == nullptr) {
+    auto ctx = std::make_unique<ClassContext>();
+    ctx->spec = classes()[idx];
+    netlist::Ispd98Instance inst = netlist::make_ispd98_instance(ctx->spec);
+    ctx->real = inst.real;
+    GsinoParams params;
+    ctx->problem =
+        std::make_unique<RoutingProblem>(inst.design, inst.gspec, params);
+    FlowSession session(*ctx->problem);
+    ctx->default_route_hash =
+        router::route_hash(*session.route(FlowKind::kGsino)->routing);
+    cache[idx] = std::move(ctx);
+  }
+  return *cache[idx];
+}
+
+/// Tree construction over the class's real pin sets, isolated from the
+/// router: total length, wall seconds, and how much of the class the
+/// content-addressed cache collapses.
+void BM_SteinerQuality(benchmark::State& state, std::size_t idx,
+                       steiner::TreeProfile profile) {
+  ClassContext& ctx = context_for(idx);
+  const RoutingProblem& problem = *ctx.problem;
+
+  double tree_len = 0.0, build_s = 0.0;
+  steiner::TreeCache::Stats cache_stats;
+  double wirelength = 0.0, shields = 0.0, overflow = 0.0;
+  std::size_t violating = 0;
+  std::uint64_t hash = 0;
+  for (auto _ : state) {
+    steiner::TreeCache tree_cache;
+    const steiner::TreeBuilder builder({}, &tree_cache);
+    std::int64_t total = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const router::RouterNet& net : problem.router_nets()) {
+      if (net.pins.size() >= 2) total += builder.length(net.pins, profile);
+    }
+    build_s = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    tree_len = static_cast<double>(total);
+    cache_stats = tree_cache.stats();
+
+    FlowSession session(problem);
+    Scenario scenario;
+    scenario.tree_profile = profile;
+    const FlowResult fr = session.run(FlowKind::kGsino, scenario);
+    hash = router::route_hash(fr.routing());
+    wirelength = fr.routing().total_wirelength_um;
+    violating = fr.violating;
+    shields = fr.total_shields;
+    overflow = fr.congestion->total_overflow();
+    benchmark::DoNotOptimize(fr);
+  }
+
+  state.counters["nets"] = static_cast<double>(problem.net_count());
+  state.counters["real_circuit"] = ctx.real ? 1.0 : 0.0;
+  state.counters["profile"] = static_cast<double>(profile);
+  state.counters["tree_len_total"] = tree_len;
+  state.counters["tree_build_s"] = build_s;
+  const double lookups =
+      static_cast<double>(cache_stats.hits + cache_stats.misses);
+  state.counters["tree_cache_hit_rate"] =
+      lookups > 0.0 ? static_cast<double>(cache_stats.hits) / lookups : 0.0;
+  state.counters["wirelength_um"] = wirelength;
+  state.counters["violations"] = static_cast<double>(violating);
+  state.counters["shields"] = shields;
+  state.counters["overflow"] = overflow;
+  if (profile == steiner::TreeProfile::kFast) {
+    state.counters["fingerprint_match"] =
+        hash == ctx.default_route_hash ? 1.0 : 0.0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& suite = classes();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (const steiner::TreeProfile p :
+         {steiner::TreeProfile::kFast, steiner::TreeProfile::kBalanced,
+          steiner::TreeProfile::kBest}) {
+      benchmark::RegisterBenchmark(
+          ("BM_SteinerQuality/" + suite[i].name + "/" +
+           steiner::profile_name(p))
+              .c_str(),
+          BM_SteinerQuality, i, p)
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -86,7 +86,7 @@ void append_metrics(MetricsSnapshot& out, const gsino::StageCounters& c) {
 
 void append_metrics(MetricsSnapshot& out, const router::RoutingStats& s) {
   static_assert(sizeof(router::RoutingStats) ==
-                    8 * sizeof(std::size_t) + sizeof(double),
+                    9 * sizeof(std::size_t) + sizeof(double),
                 "RoutingStats changed: update this adapter and the "
                 "completeness test in tests/obs_test.cpp");
   const auto n = [](std::size_t v) { return static_cast<double>(v); };
@@ -95,6 +95,7 @@ void append_metrics(MetricsSnapshot& out, const router::RoutingStats& s) {
   out.set_counter("router.edges_locked", n(s.edges_locked));
   out.set_counter("router.reinserts", n(s.reinserts));
   out.set_counter("router.prerouted_nets", n(s.prerouted_nets));
+  out.set_counter("router.rsmt_fallback_nets", n(s.rsmt_fallback_nets));
   out.set_counter("router.spec_attempted", n(s.spec_attempted));
   out.set_counter("router.spec_committed", n(s.spec_committed));
   out.set_counter("router.spec_replayed", n(s.spec_replayed));

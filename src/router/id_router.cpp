@@ -12,6 +12,7 @@
 #include "parallel/parallel_for.h"
 #include "parallel/speculate.h"
 #include "rsmt/steiner.h"
+#include "steiner/tree_cache.h"
 #include "util/indexed_heap.h"
 #include "util/stopwatch.h"
 
@@ -243,6 +244,31 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
   phase_span.emplace("router.build", "router");
   phase_span->arg("nets", static_cast<double>(nets.size()));
 
+  // One tree builder + content-addressed cache per route() call: the
+  // huge-net pre-route topologies and the pooled f(WL) normalization
+  // lengths both draw from it, so an identical pin configuration builds
+  // exactly once no matter how many nets share it, which call site asks,
+  // or which worker asks first (the builder is a pure function of pin
+  // content, so lookup races cannot change values). Tree construction
+  // itself fans out with the chunked build pass below; its shared-stats
+  // consequences commit in net order via the ordered reducer.
+  steiner::TreeCache tree_cache;
+  const steiner::TreeBuilder tree_builder(steiner::TreeBuilderOptions{},
+                                          &tree_cache);
+  const auto net_profile = [&](std::int32_t net_id) {
+    const auto& ov = options_.tree_profile_overrides;
+    const auto it = std::lower_bound(
+        ov.begin(), ov.end(), net_id,
+        [](const std::pair<std::int32_t, std::uint8_t>& e, std::int32_t id) {
+          return e.first < id;
+        });
+    if (it != ov.end() && it->first == net_id) {
+      return static_cast<steiner::TreeProfile>(
+          std::min<std::uint8_t>(it->second, steiner::kTreeProfileCount - 1));
+    }
+    return options_.tree_profile;
+  };
+
   // ---------------------------------------------------------------- build
   //
   // The per-net work — graph construction, CSR adjacency, f(WL) tables,
@@ -268,6 +294,14 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
       wk.prerouted = true;
       wk.trivial = true;  // nothing to route
       continue;
+    }
+    // Topology-degradation visibility: this net's base 1-Steiner
+    // construction will silently degrade to plain RMST. Counted here in the
+    // serial sizing pass (from the raw pin count, mirroring the
+    // rsmt::rsmt fallback predicate) so the value never depends on tree
+    // cache hits, thread count, or build order.
+    if (net.pins.size() > tree_builder.options().steiner.max_pins_exact) {
+      ++result.stats.rsmt_fallback_nets;
     }
     if (static_cast<std::size_t>(wk.bbox.cell_count()) >
         options_.huge_net_bbox_threshold) {
@@ -371,7 +405,9 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
       sc.edge_stamp.assign(edge_slots, 0);
       sc.present_stamp.assign(region_count * 2, 0);
     }
-    const rsmt::Tree tree = rsmt::rsmt(net.pins);
+    const std::shared_ptr<const rsmt::Tree> tree_ptr =
+        tree_builder.build(net.pins, net_profile(net.id));
+    const rsmt::Tree& tree = *tree_ptr;
     ++sc.edge_epoch;
     for (const auto& [a, b] : tree.edges) {
       sc.l_shape.clear();
@@ -494,8 +530,8 @@ RoutingResult IdRouter::route(const std::vector<RouterNet>& nets) const {
     // The final tree crosses roughly rsmt_len boundaries, split between
     // directions in proportion to the bbox aspect; +1 converts crossings
     // to touched regions.
-    wk.rsmt_len = static_cast<double>(
-        std::max<std::int64_t>(1, rsmt::rsmt_length(net.pins)));
+    wk.rsmt_len = static_cast<double>(std::max<std::int64_t>(
+        1, tree_builder.length(net.pins, net_profile(net.id))));
     {
       const double wx = std::max(1, wk.w - 1);
       const double wy = std::max(1, wk.h - 1);

@@ -67,11 +67,14 @@
 
 #include <cstdint>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "grid/congestion.h"
 #include "grid/region_grid.h"
 #include "router/route_types.h"
 #include "sino/nss.h"
+#include "steiner/tree_builder.h"
 
 namespace rlcr::router {
 
@@ -130,6 +133,16 @@ struct IdRouterOptions {
   /// threads == 1 — disables speculation entirely (the exact serial
   /// path). Like `threads`, never part of the routing profile.
   int speculate_batch = 8;
+  /// Quality tier for every net topology the router builds (huge-net
+  /// pre-routes and the f(WL) normalization trees): src/steiner profiles.
+  /// kFast is the historical rsmt::rsmt path, bit-identical to the
+  /// pre-profile router. Part of the routing profile — a different tier is
+  /// a different routing answer.
+  steiner::TreeProfile tree_profile = steiner::TreeProfile::kFast;
+  /// Per-net tier overrides for critical nets: (net id, TreeProfile value)
+  /// pairs, kept sorted by net id. A listed net is built at its own tier;
+  /// all others use `tree_profile`. Also part of the routing profile.
+  std::vector<std::pair<std::int32_t, std::uint8_t>> tree_profile_overrides;
 
  private:
   /// The single enumeration behind both profile_tie() overloads below.
@@ -139,7 +152,8 @@ struct IdRouterOptions {
     return std::tie(self.weights.alpha, self.weights.beta, self.weights.gamma,
                     self.reserve_shields, self.huge_net_bbox_threshold,
                     self.preroute_shape, self.max_detour_factor,
-                    self.detour_slack);
+                    self.detour_slack, self.tree_profile,
+                    self.tree_profile_overrides);
   }
 
  public:

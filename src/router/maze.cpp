@@ -7,6 +7,7 @@
 
 #include "obs/trace.h"
 #include "rsmt/steiner.h"
+#include "steiner/tree_cache.h"
 #include "util/stopwatch.h"
 
 namespace rlcr::router {
@@ -50,6 +51,13 @@ RoutingResult MazeRouter::route(const std::vector<RouterNet>& nets) const {
   std::vector<std::int32_t> reached_list;
   std::vector<QE> pq;  // min-heap via std::push_heap/pop_heap + greater<>
 
+  // Decomposition topologies come from the tiered tree builder; the cache
+  // collapses identical pin configurations across nets. kFast (the default)
+  // reproduces the historical rsmt::rsmt trees bit-for-bit.
+  steiner::TreeCache tree_cache;
+  const steiner::TreeBuilder tree_builder(steiner::TreeBuilderOptions{},
+                                          &tree_cache);
+
   auto edge_cost = [&](geom::Point a, geom::Point b) {
     const grid::Dir d = (a.y == b.y) ? grid::Dir::kHorizontal : grid::Dir::kVertical;
     const int di = static_cast<int>(d);
@@ -87,7 +95,9 @@ RoutingResult MazeRouter::route(const std::vector<RouterNet>& nets) const {
 
     // Route 2-pin connections along the RSMT topology, connecting each new
     // terminal to the set of already-reached vertices.
-    const rsmt::Tree topo = rsmt::rsmt(net.pins);
+    const std::shared_ptr<const rsmt::Tree> topo_ptr =
+        tree_builder.build(net.pins, options_.tree_profile);
+    const rsmt::Tree& topo = *topo_ptr;
     for (const auto& [ta, tb] : topo.edges) {
       const geom::Point target_a = topo.nodes[static_cast<std::size_t>(ta)];
       const geom::Point target_b = topo.nodes[static_cast<std::size_t>(tb)];

@@ -69,6 +69,14 @@ struct RoutingStats {
   std::size_t edges_locked = 0;
   std::size_t reinserts = 0;
   std::size_t prerouted_nets = 0;
+  /// Nets whose base topology silently degraded from iterated 1-Steiner to
+  /// plain RMST because their pin count exceeds
+  /// rsmt::SteinerOptions::max_pins_exact. Counted once per non-trivial net
+  /// during the serial sizing pass, so the value is deterministic and
+  /// independent of tree-cache hits or thread count. High values mean the
+  /// kBalanced/kBest profiles (which keep improving such nets) have the
+  /// most headroom.
+  std::size_t rsmt_fallback_nets = 0;
   /// Deletion-loop speculation counters (parallel/speculate.h; see
   /// IdRouterOptions::speculate_batch): BFS-bound candidates fanned out,
   /// memoized verdicts the serial commit order consumed after validation,

@@ -1,0 +1,56 @@
+#include "steiner/tree_cache.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace rlcr::steiner {
+
+CanonicalPins canonicalize(std::span<const geom::Point> pins) {
+  CanonicalPins c;
+  c.pins.assign(pins.begin(), pins.end());
+  if (!c.pins.empty()) {
+    std::int32_t min_x = c.pins[0].x;
+    std::int32_t min_y = c.pins[0].y;
+    for (const geom::Point& p : c.pins) {
+      min_x = std::min(min_x, p.x);
+      min_y = std::min(min_y, p.y);
+    }
+    c.dx = min_x;
+    c.dy = min_y;
+    for (geom::Point& p : c.pins) {
+      p.x -= min_x;
+      p.y -= min_y;
+    }
+  }
+  util::Fnv1a64 h;
+  h.u64(c.pins.size());
+  for (const geom::Point& p : c.pins) h.i32(p.x).i32(p.y);
+  c.fingerprint = h.value();
+  return c;
+}
+
+std::shared_ptr<const rsmt::Tree> TreeCache::find(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void TreeCache::insert(std::uint64_t key,
+                       std::shared_ptr<const rsmt::Tree> tree) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // First writer wins; a racing second build produced the identical value.
+  map_.emplace(key, std::move(tree));
+}
+
+TreeCache::Stats TreeCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, map_.size()};
+}
+
+}  // namespace rlcr::steiner

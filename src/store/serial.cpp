@@ -76,6 +76,17 @@ void put_field(BinaryWriter& w, std::int32_t v) { w.i32(v); }
 void put_field(BinaryWriter& w, router::PrerouteShape v) {
   w.u32(static_cast<std::uint32_t>(v));
 }
+void put_field(BinaryWriter& w, steiner::TreeProfile v) {
+  w.u8(static_cast<std::uint8_t>(v));
+}
+void put_field(BinaryWriter& w,
+               const std::vector<std::pair<std::int32_t, std::uint8_t>>& v) {
+  w.u64(v.size());
+  for (const auto& [id, profile] : v) {
+    w.i32(id);
+    w.u8(profile);
+  }
+}
 
 void get_field(BinaryReader& r, double& v) { v = r.f64(); }
 void get_field(BinaryReader& r, bool& v) { v = r.u8() != 0; }
@@ -85,6 +96,19 @@ void get_field(BinaryReader& r, std::size_t& v) {
 void get_field(BinaryReader& r, std::int32_t& v) { v = r.i32(); }
 void get_field(BinaryReader& r, router::PrerouteShape& v) {
   v = static_cast<router::PrerouteShape>(r.u32());
+}
+void get_field(BinaryReader& r, steiner::TreeProfile& v) {
+  v = static_cast<steiner::TreeProfile>(r.u8());
+}
+void get_field(BinaryReader& r,
+               std::vector<std::pair<std::int32_t, std::uint8_t>>& v) {
+  const std::uint64_t n = r.seq_size(/*elem_bytes=*/5);
+  if (!r.ok()) return;
+  v.resize(static_cast<std::size_t>(n));
+  for (auto& [id, profile] : v) {
+    id = r.i32();
+    profile = r.u8();
+  }
 }
 
 void write_options(BinaryWriter& w, const router::IdRouterOptions& o) {
@@ -247,6 +271,7 @@ std::vector<std::uint8_t> save(const gsino::RoutingArtifact& art) {
   w.u64(routing.stats.edges_locked);
   w.u64(routing.stats.reinserts);
   w.u64(routing.stats.prerouted_nets);
+  w.u64(routing.stats.rsmt_fallback_nets);
   w.u64(routing.stats.spec_attempted);
   w.u64(routing.stats.spec_committed);
   w.u64(routing.stats.spec_replayed);
@@ -338,6 +363,7 @@ std::shared_ptr<const gsino::RoutingArtifact> load_routing(
   routing->stats.edges_locked = static_cast<std::size_t>(r.u64());
   routing->stats.reinserts = static_cast<std::size_t>(r.u64());
   routing->stats.prerouted_nets = static_cast<std::size_t>(r.u64());
+  routing->stats.rsmt_fallback_nets = static_cast<std::size_t>(r.u64());
   routing->stats.spec_attempted = static_cast<std::size_t>(r.u64());
   routing->stats.spec_committed = static_cast<std::size_t>(r.u64());
   routing->stats.spec_replayed = static_cast<std::size_t>(r.u64());

@@ -40,7 +40,10 @@ namespace rlcr::store {
 /// (spec_attempted/committed/replayed). A version bump — not an optional
 /// tail — keeps the "any validation failure loads as null" rule simple:
 /// v1 records are treated as misses and recompute.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: the routing profile gained tree_profile + tree_profile_overrides
+/// (steiner quality tiers) and RoutingStats gained rsmt_fallback_nets;
+/// same rule — v2 records load as misses and recompute.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 enum class ArtifactType : std::uint32_t {
   kRouting = 1,

@@ -278,6 +278,7 @@ TEST(Metrics, EveryStatsFieldAppearsInTheRegistryExactlyOnce) {
   r.edges_locked = v++;
   r.reinserts = v++;
   r.prerouted_nets = v++;
+  r.rsmt_fallback_nets = v++;
   r.spec_attempted = v++;
   r.spec_committed = v++;
   r.spec_replayed = v++;
@@ -319,23 +320,24 @@ TEST(Metrics, EveryStatsFieldAppearsInTheRegistryExactlyOnce) {
   obs::append_metrics(snap, st);
   obs::append_metrics(snap, sp);
 
-  // 18 + 9 + 11 + 9 + 3 fields across the five structs.
-  EXPECT_EQ(snap.metrics().size(), 50u);
+  // 18 + 10 + 11 + 9 + 3 fields across the five structs.
+  EXPECT_EQ(snap.metrics().size(), 51u);
 
   const std::vector<std::pair<std::string, double>> expected = {
       {"session.route_requests", 1},
       {"session.refine_loaded", 12},
       {"session.refine_spec_replayed", 18},
       {"router.edges_initial", 19},
-      {"router.spec_replayed", 26},
+      {"router.rsmt_fallback_nets", 24},
+      {"router.spec_replayed", 27},
       {"router.runtime_s", 0.25},
-      {"refine.pass1_nets_fixed", 27},
-      {"refine.spec_replayed", 37},
-      {"store.hits", 38},
-      {"store.lock_waits", 44},
-      {"store.bytes_read", 46},
-      {"spec.attempted", 47},
-      {"spec.replayed", 49},
+      {"refine.pass1_nets_fixed", 28},
+      {"refine.spec_replayed", 38},
+      {"store.hits", 39},
+      {"store.lock_waits", 45},
+      {"store.bytes_read", 47},
+      {"spec.attempted", 48},
+      {"spec.replayed", 50},
   };
   for (const auto& [name, want] : expected) {
     EXPECT_TRUE(snap.has(name)) << name;

@@ -95,6 +95,31 @@ TEST(StoreSerial, RoutingRoundTripIsBitIdentical) {
   EXPECT_EQ(loaded->seconds, art->seconds);
 }
 
+// The routing profile extension (format v3): tree_profile and the per-net
+// override list survive the round trip and participate in profile
+// identity, so a kBalanced artifact can never be mistaken for a kFast one.
+TEST(StoreSerial, RoutingRoundTripCarriesTreeProfile) {
+  const Pipeline pipe(0.5);
+  const RoutingProblem p = pipe.problem();
+  FlowSession session(p);
+  router::IdRouterOptions opt = session.router_profile(FlowKind::kGsino);
+  opt.tree_profile = steiner::TreeProfile::kBalanced;
+  opt.tree_profile_overrides = {{3, 2}, {17, 0}};
+  const auto art = session.route(opt, FlowKind::kGsino);
+
+  const auto loaded = store::load_routing(store::save(*art), p);
+  ASSERT_NE(loaded, nullptr);
+  expect_routing_equal(*art, *loaded, p);
+  EXPECT_EQ(loaded->options.tree_profile, steiner::TreeProfile::kBalanced);
+  ASSERT_EQ(loaded->options.tree_profile_overrides.size(), 2u);
+  EXPECT_EQ(loaded->options.tree_profile_overrides[0],
+            (std::pair<std::int32_t, std::uint8_t>{3, 2}));
+  EXPECT_EQ(loaded->routing->stats.rsmt_fallback_nets,
+            art->routing->stats.rsmt_fallback_nets);
+  EXPECT_FALSE(loaded->options.same_routing_profile(
+      session.router_profile(FlowKind::kGsino)));
+}
+
 TEST(StoreSerial, BudgetRoundTripIsBitIdenticalForEveryRule) {
   const Pipeline pipe(0.5);
   const RoutingProblem p = pipe.problem();

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate the Steiner quality ablation entries (bench_steiner).
+
+Usage: check_steiner.py BENCH.json
+
+BENCH.json is a google-benchmark JSON export (or the merged
+BENCH_router.json) holding BM_SteinerQuality/<class>/<profile> entries.
+Checks:
+  - at least one class is present, and every class that appears carries
+    the complete three-profile curve (fast, balanced, best) — a partial
+    curve cannot support the quality->routing comparison;
+  - every `fast` entry records fingerprint_match == 1: the fast tier is
+    the historical tree path and its routed result must be bit-identical
+    to a default-profile run (the claim the route-hash goldens rest on);
+  - per class, tree lengths obey best <= balanced <= fast — kBalanced
+    applies only length-non-increasing moves to the kFast tree and kBest
+    keeps the kBalanced tree as a candidate, so a violation means the
+    builder broke its ordering contract, not that a heuristic got lucky.
+
+Exit status 0 iff every check passes.
+"""
+
+import json
+import sys
+
+PROFILES = ("fast", "balanced", "best")
+
+
+def fail(msg: str) -> None:
+    print(f"check_steiner: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) != 2:
+        fail("usage: check_steiner.py BENCH.json")
+    path = argv[1]
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    curves: dict[str, dict[str, dict]] = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("name", "")
+        if not name.startswith("BM_SteinerQuality/"):
+            continue
+        parts = name.split("/")
+        if len(parts) < 3:
+            fail(f"{path}: malformed entry name {name!r}")
+        cls, profile = parts[1], parts[2]
+        if profile not in PROFILES:
+            fail(f"{path}: unknown profile in {name!r}")
+        curves.setdefault(cls, {})[profile] = entry
+
+    if not curves:
+        fail(f"{path}: no BM_SteinerQuality entries")
+
+    for cls in sorted(curves):
+        entries = curves[cls]
+        missing = [p for p in PROFILES if p not in entries]
+        if missing:
+            fail(f"{path}: {cls}: profile curve incomplete, missing "
+                 f"{', '.join(missing)}")
+
+        fast = entries["fast"]
+        if fast.get("fingerprint_match") != 1.0:
+            fail(f"{path}: {cls}: fast-profile route hash does not match "
+                 "the default run (fingerprint_match != 1) — the fast "
+                 "tier must be bit-identical to the historical path")
+
+        lengths = {p: entries[p].get("tree_len_total") for p in PROFILES}
+        for p, v in lengths.items():
+            if not isinstance(v, (int, float)):
+                fail(f"{path}: {cls}/{p}: missing tree_len_total")
+        if not (lengths["best"] <= lengths["balanced"] <= lengths["fast"]):
+            fail(f"{path}: {cls}: tree-length ordering violated: "
+                 f"best={lengths['best']} balanced={lengths['balanced']} "
+                 f"fast={lengths['fast']}")
+        print(f"check_steiner: {cls}: fast={lengths['fast']:.0f} "
+              f"balanced={lengths['balanced']:.0f} "
+              f"best={lengths['best']:.0f} — OK")
+
+    print(f"check_steiner: {path}: {len(curves)} class(es) — OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -55,10 +55,11 @@ REQUIRED_METRICS = [
     "session.route_spec_attempted", "session.route_spec_committed",
     "session.route_spec_replayed", "session.refine_spec_attempted",
     "session.refine_spec_committed", "session.refine_spec_replayed",
-    # router.* — RoutingStats (9)
+    # router.* — RoutingStats (10)
     "router.edges_initial", "router.edges_deleted", "router.edges_locked",
-    "router.reinserts", "router.prerouted_nets", "router.spec_attempted",
-    "router.spec_committed", "router.spec_replayed", "router.runtime_s",
+    "router.reinserts", "router.prerouted_nets", "router.rsmt_fallback_nets",
+    "router.spec_attempted", "router.spec_committed", "router.spec_replayed",
+    "router.runtime_s",
     # refine.* — RefineStats (11)
     "refine.pass1_nets_fixed", "refine.pass1_resolves",
     "refine.pass1_gave_up", "refine.pass2_shields_removed",

@@ -175,6 +175,7 @@ void BM_Ispd98Session(benchmark::State& state, std::size_t idx) {
   StageSample route_s, budget_s, solve_s, refine_s;
   std::size_t violating = 0, unfixable = 0;
   double wirelength = 0.0, shields = 0.0, congestion_bytes = 0.0;
+  StageCounters counters{};
   for (auto _ : state) {
     FlowSession session(problem);
     std::shared_ptr<const RoutingArtifact> r;
@@ -202,6 +203,7 @@ void BM_Ispd98Session(benchmark::State& state, std::size_t idx) {
     wirelength = r->routing->total_wirelength_um;
     shields = rf->congestion->total_shields();
     congestion_bytes = static_cast<double>(rf->congestion->storage_bytes());
+    counters = session.counters();
     benchmark::DoNotOptimize(rf);
   }
 
@@ -223,6 +225,14 @@ void BM_Ispd98Session(benchmark::State& state, std::size_t idx) {
   state.counters["wirelength_um"] = wirelength;
   state.counters["shields"] = shields;
   state.counters["congestion_bytes"] = congestion_bytes;
+  // Store warm-start visibility: how many stage artifacts this run loaded
+  // from a persistent store instead of computing (all zero without one —
+  // the counters were previously computed but never exported, so a
+  // warm-started bench run looked identical to a cold one in the JSON).
+  state.counters["route_loaded"] = static_cast<double>(counters.route_loaded);
+  state.counters["solve_loaded"] = static_cast<double>(counters.solve_loaded);
+  state.counters["refine_loaded"] =
+      static_cast<double>(counters.refine_loaded);
 
   if (trace) {
     const std::filesystem::path out =

@@ -23,6 +23,15 @@
 //   $ ./route_cli --circuit ibm01 --flow gsino \
 //                 --trace-out trace.json --metrics-out metrics.json --profile
 //
+//   # incremental ECO: apply 3 seeded netlist deltas through the session,
+//   # re-running the flow after each; the final state is differentially
+//   # checked against a from-scratch recompute of the whole chain
+//   $ ./route_cli --circuit ibm01 --delta-demo 3
+//
+//   # scenario matrix: the four campaign kinds (bound sweep, tech sweep,
+//   # delta chain, ECO slice) on one instance, as bench_scenarios runs them
+//   $ ./route_cli --ispd98-class ibm01 --scale 0.05 --matrix
+//
 // Prints the flow summary (violations, wire length, shields, routing area)
 // and optionally dumps per-net noise to CSV (--noise-csv out.csv).
 #include <algorithm>
@@ -46,6 +55,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "router/route_types.h"
+#include "scenario/delta.h"
+#include "scenario/matrix.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "store/artifact_store.h"
@@ -76,6 +87,8 @@ struct CliOptions {
   int grid_x = 64, grid_y = 64;
   int cap_h = 20, cap_v = 18;
   int threads = 0;  // 0 = auto; results are identical at any value
+  int delta_demo = 0;   // --delta-demo: incremental netlist-delta steps
+  bool matrix = false;  // --matrix: run the four scenario-matrix kinds
   bool fingerprint = false;
   std::string trace_out;
   std::string metrics_out;
@@ -113,6 +126,17 @@ struct CliOptions {
       "  --seed N                 master seed (default 1)\n"
       "  --threads N              pool workers for routing + Phase II\n"
       "                           (default auto; output identical at any N)\n"
+      "  --delta-demo N           incremental mode: route once, then apply\n"
+      "                           N seeded netlist deltas (add/remove/re-pin)\n"
+      "                           through the session, re-running the flow\n"
+      "                           after each; ends with a from-scratch\n"
+      "                           differential check (exits non-zero on any\n"
+      "                           fingerprint mismatch)\n"
+      "  --matrix                 run the four scenario-matrix campaign\n"
+      "                           kinds (bound/tech sweeps, delta chain,\n"
+      "                           ECO slice) on this instance and print the\n"
+      "                           per-cell runs / compute-avoided /\n"
+      "                           differential-check table\n"
       "  --store-dir DIR          persistent artifact store: consult before\n"
       "                           routing/budgeting, publish after — a second\n"
       "                           invocation on the same circuit skips Phase I\n"
@@ -398,6 +422,11 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--threads")) {
       opt.threads = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--delta-demo")) {
+      opt.delta_demo = std::atoi(next());
+      if (opt.delta_demo <= 0) usage(argv[0]);
+    } else if (!std::strcmp(argv[i], "--matrix")) {
+      opt.matrix = true;
     } else if (!std::strcmp(argv[i], "--store-dir")) {
       opt.store_dir = next();
     } else if (!std::strcmp(argv[i], "--store-max-bytes")) {
@@ -507,9 +536,76 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // ---- scenario matrix (--matrix): the four campaign kinds over this one
+  // instance, each with its built-in from-scratch differential check —
+  // exactly what bench_scenarios records per (class, kind) cell.
+  if (opt.matrix) {
+    const std::string name =
+        !opt.ispd98_class.empty() ? opt.ispd98_class : opt.circuit;
+    util::TablePrinter table("scenario matrix: " + name);
+    table.set_header({"kind", "runs", "avoided", "match", "nets", "seconds"});
+    bool all_match = true;
+    for (const scenario::ScenarioKind kind : scenario::kAllScenarioKinds) {
+      const scenario::ScenarioCell cell = scenario::ScenarioMatrix::run_cell(
+          name, design, gspec, kind, params, artifact_store);
+      all_match = all_match && cell.fingerprint_match == 1;
+      table.add_row(
+          {scenario::kind_name(kind),
+           util::fmt_int(static_cast<long long>(cell.runs)),
+           util::fmt_int(static_cast<long long>(cell.compute_avoided)),
+           cell.fingerprint_match == 1 ? "yes" : "NO",
+           util::fmt_int(static_cast<long long>(cell.total_nets)),
+           util::fmt_double(cell.seconds, 2)});
+    }
+    table.print(std::cout);
+    return all_match ? 0 : 1;
+  }
+
   SessionOptions sopt;
   sopt.store = artifact_store;
   FlowSession session(problem, std::move(sopt));
+
+  // ---- incremental delta demo (--delta-demo N): route once, then apply N
+  // seeded netlist deltas through FlowSession::apply_delta, re-running the
+  // GSINO flow after each. Ends with the differential contract from
+  // tests/delta_differential_test.cpp: the whole chain applied up front and
+  // recomputed from scratch must match the incremental end state bit for
+  // bit (route hash and state fingerprint).
+  if (opt.delta_demo > 0) {
+    FlowResult fr = session.run(FlowKind::kGsino);
+    report(fr, session.problem(), opt.fingerprint);
+    std::vector<scenario::NetlistDelta> chain;
+    for (int step = 0; step < opt.delta_demo; ++step) {
+      chain.push_back(scenario::random_delta(
+          session.problem(), opt.seed + static_cast<std::uint64_t>(step), 6));
+      const scenario::DeltaReport rep = session.apply_delta(chain.back());
+      fr = session.run(FlowKind::kGsino);
+      std::printf(
+          "delta %d: %zu change(s) | routes %zu spliced / %zu rerouted | "
+          "regions %zu reused / %zu re-solved | %.2fs\n",
+          step + 1, rep.changed_nets, rep.nets_reused, rep.nets_rerouted,
+          rep.regions_reused, rep.regions_solved, rep.seconds);
+      report(fr, session.problem(), opt.fingerprint);
+    }
+    const StageCounters& c = session.counters();
+    std::printf(
+        "delta counters: %zu applies | nets %zu rerouted / %zu reused | "
+        "regions %zu re-solved / %zu reused\n",
+        c.delta_applies, c.delta_nets_rerouted, c.delta_nets_reused,
+        c.delta_regions_solved, c.delta_regions_reused);
+    RoutingProblem scratch = problem;
+    for (const scenario::NetlistDelta& delta : chain) {
+      scratch = scenario::apply_delta(scratch, delta);
+    }
+    FlowSession fresh(scratch);
+    const FlowResult want = fresh.run(FlowKind::kGsino);
+    const bool ok =
+        state_fingerprint(want) == state_fingerprint(fr) &&
+        router::route_hash(want.routing()) == router::route_hash(fr.routing());
+    std::printf("differential check (from-scratch recompute): %s\n",
+                ok ? "bit-identical" : "MISMATCH");
+    return ok ? 0 : 1;
+  }
 
   // ---- observability: RLCR_TRACE="1" just records (pairs with
   // --profile); any other non-"0" value doubles as the trace output path.

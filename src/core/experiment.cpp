@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/session.h"
+#include "netlist/ispd98_synth.h"
 #include "store/artifact_store.h"
 #include "util/stopwatch.h"
 
@@ -23,14 +24,31 @@ CircuitRun ExperimentRunner::run_one(const netlist::SyntheticSpec& spec,
                                      bool run_isino, bool run_gsino,
                                      StageObserver observer,
                                      std::shared_ptr<store::ArtifactStore> store) {
+  grid::RegionGridSpec g;
+  g.cols = spec.grid_cols;
+  g.rows = spec.grid_rows;
+  g.region_w_um = spec.chip_w_um / spec.grid_cols;
+  g.region_h_um = spec.chip_h_um / spec.grid_rows;
+  g.h_capacity = spec.h_capacity;
+  g.v_capacity = spec.v_capacity;
+  return run_one(spec.name, netlist::generate(spec), g, rate, params,
+                 run_isino, run_gsino, std::move(observer), std::move(store));
+}
+
+CircuitRun ExperimentRunner::run_one(const std::string& name,
+                                     const netlist::Netlist& design,
+                                     const grid::RegionGridSpec& gspec,
+                                     double rate, const GsinoParams& params,
+                                     bool run_isino, bool run_gsino,
+                                     StageObserver observer,
+                                     std::shared_ptr<store::ArtifactStore> store) {
   CircuitRun run;
-  run.circuit = spec.name;
+  run.circuit = name;
   run.rate = rate;
 
-  const netlist::Netlist design = netlist::generate(spec);
   GsinoParams p = params;
   p.sensitivity_rate = rate;
-  const RoutingProblem problem = make_problem(design, spec, p);
+  const RoutingProblem problem(design, gspec, p);
   run.total_nets = problem.net_count();
 
   // One session per cell: ID+NO and iSINO share the Phase I artifact; a
@@ -53,6 +71,30 @@ CircuitRun ExperimentRunner::run_one(const netlist::SyntheticSpec& spec,
 
 std::vector<CircuitRun> ExperimentRunner::run() const {
   std::vector<CircuitRun> out;
+  if (options_.ispd98) {
+    const auto classes = netlist::ispd98_classes(options_.scale);
+    for (int ci : options_.circuits) {
+      if (ci < 0 || static_cast<std::size_t>(ci) >= classes.size()) continue;
+      const netlist::Ispd98ClassSpec& cls =
+          classes[static_cast<std::size_t>(ci)];
+      // One instance per class, shared across rates (the netD parse / the
+      // synthetic generation plus placement dominate setup time at
+      // published sizes).
+      const netlist::Ispd98Instance inst = netlist::make_ispd98_instance(cls);
+      for (double rate : options_.rates) {
+        util::Stopwatch watch;
+        CircuitRun run =
+            run_one(cls.name, inst.design, inst.gspec, rate, options_.params,
+                    options_.run_isino, options_.run_gsino, options_.observer,
+                    options_.store);
+        if (options_.progress) {
+          options_.progress(cls.name, rate, "all-flows", watch.seconds());
+        }
+        out.push_back(std::move(run));
+      }
+    }
+    return out;
+  }
   const auto suite = netlist::ibm_suite(options_.scale);
   for (int ci : options_.circuits) {
     if (ci < 0 || static_cast<std::size_t>(ci) >= suite.size()) continue;

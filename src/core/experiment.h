@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "grid/region_grid.h"
 #include "netlist/synthetic.h"
 
 namespace rlcr::store {
@@ -31,6 +32,13 @@ struct ExperimentOptions {
   std::vector<double> rates = {0.30, 0.50};
   /// Indices into netlist::ibm_suite() (0 = ibm01 ... 5 = ibm06).
   std::vector<int> circuits = {0, 1, 2, 3, 4, 5};
+  /// Run the ISPD'98 classes (netlist/ispd98_synth.h) instead of the
+  /// proxy ibm_suite: Tables 1-3 at the published circuit sizes — the
+  /// genuine netD circuits when RLCR_ISPD98_DIR holds them, the
+  /// calibrated synthetic stand-ins otherwise. `scale` and `circuits`
+  /// apply unchanged (circuit indices select among ibm01..ibm06 either
+  /// way).
+  bool ispd98 = false;
   bool run_isino = true;
   bool run_gsino = true;
   GsinoParams params;
@@ -73,6 +81,16 @@ class ExperimentRunner {
   /// FlowSession (shared routing artifact); `observer` receives its stage
   /// events.
   static CircuitRun run_one(const netlist::SyntheticSpec& spec, double rate,
+                            const GsinoParams& params, bool run_isino = true,
+                            bool run_gsino = true, StageObserver observer = {},
+                            std::shared_ptr<store::ArtifactStore> store = {});
+
+  /// Same cell over an already-materialized design and routing fabric —
+  /// the entry the ISPD'98 path and the scenario matrix drive (their
+  /// designs come from make_ispd98_instance, not a SyntheticSpec).
+  static CircuitRun run_one(const std::string& name,
+                            const netlist::Netlist& design,
+                            const grid::RegionGridSpec& gspec, double rate,
                             const GsinoParams& params, bool run_isino = true,
                             bool run_gsino = true, StageObserver observer = {},
                             std::shared_ptr<store::ArtifactStore> store = {});

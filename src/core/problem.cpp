@@ -44,6 +44,27 @@ std::uint64_t compute_fingerprint(const grid::RegionGrid& grid,
   return h.value();
 }
 
+/// The one per-net derivation both the constructor and with_pin_updates
+/// use: region pins deduplicated in encounter order, Le = the largest
+/// source-to-sink Manhattan distance floored at one region pitch.
+void derive_net_geometry(const grid::RegionGrid& grid, double pitch,
+                         const std::vector<geom::PointF>& pins,
+                         router::RouterNet& rn, double& le_um) {
+  rn.pins.clear();
+  double le = 0.0;
+  if (!pins.empty()) {
+    const geom::PointF src = pins.front();
+    for (const geom::PointF& pos : pins) {
+      const geom::Point region = grid.region_of(pos);
+      if (std::find(rn.pins.begin(), rn.pins.end(), region) == rn.pins.end()) {
+        rn.pins.push_back(region);
+      }
+      le = std::max(le, geom::manhattan(src, pos));
+    }
+  }
+  le_um = std::max(le, pitch);
+}
+
 }  // namespace
 
 RoutingProblem::RoutingProblem(const netlist::Netlist& design,
@@ -60,28 +81,63 @@ RoutingProblem::RoutingProblem(const netlist::Netlist& design,
   const double pitch =
       std::min(grid_.region_w_um(), grid_.region_h_um());
 
+  std::vector<geom::PointF> positions;
   for (std::size_t n = 0; n < design.net_count(); ++n) {
     const netlist::Net& net = design.net(static_cast<netlist::NetId>(n));
     router::RouterNet rn;
     rn.id = static_cast<std::int32_t>(n);
     rn.si = sens_.si(static_cast<netlist::NetId>(n));
 
+    positions.clear();
+    for (const netlist::Pin& p : net.pins) positions.push_back(p.pos);
     double le = 0.0;
-    if (!net.pins.empty()) {
-      const geom::PointF src = net.pins.front().pos;
-      for (const netlist::Pin& p : net.pins) {
-        const geom::Point region = grid_.region_of(p.pos);
-        if (std::find(rn.pins.begin(), rn.pins.end(), region) == rn.pins.end()) {
-          rn.pins.push_back(region);
-        }
-        le = std::max(le, geom::manhattan(src, p.pos));
-      }
-    }
-    le_um_.push_back(std::max(le, pitch));
+    derive_net_geometry(grid_, pitch, positions, rn, le);
+    le_um_.push_back(le);
     rnets_.push_back(std::move(rn));
   }
   fingerprint_ = compute_fingerprint(grid_, params_.keff, table_, rnets_,
                                      le_um_, params_);
+}
+
+RoutingProblem RoutingProblem::with_pin_updates(
+    const std::vector<PinUpdate>& updates) const {
+  RoutingProblem p = *this;
+  const double pitch = std::min(p.grid_.region_w_um(), p.grid_.region_h_um());
+
+  // Any slot index at or beyond the current count appends (kAppend is the
+  // canonical spelling). Appends are counted up front so the sensitivity
+  // model is rebuilt once at the final count; its per-net draws are
+  // index-stable, so every existing S_i keeps its value.
+  const std::size_t original = p.rnets_.size();
+  std::size_t appends = 0;
+  for (const PinUpdate& u : updates) {
+    if (u.net >= original) ++appends;
+  }
+  if (appends > 0) {
+    const std::size_t final_count = original + appends;
+    p.sens_ = netlist::SensitivityModel(final_count, p.params_.sensitivity_rate,
+                                        p.params_.seed);
+    p.rnets_.reserve(final_count);
+    p.le_um_.reserve(final_count);
+  }
+
+  for (const PinUpdate& u : updates) {
+    std::size_t slot = u.net;
+    if (slot >= original) {
+      slot = p.rnets_.size();
+      router::RouterNet rn;
+      rn.id = static_cast<std::int32_t>(slot);
+      rn.si = p.sens_.si(static_cast<netlist::NetId>(slot));
+      p.rnets_.push_back(std::move(rn));
+      p.le_um_.push_back(0.0);
+    }
+    derive_net_geometry(p.grid_, pitch, u.pins, p.rnets_[slot],
+                        p.le_um_[slot]);
+  }
+
+  p.fingerprint_ = compute_fingerprint(p.grid_, p.params_.keff, p.table_,
+                                       p.rnets_, p.le_um_, p.params_);
+  return p;
 }
 
 RoutingProblem make_problem(const netlist::Netlist& design,

@@ -17,6 +17,22 @@
 
 namespace rlcr::gsino {
 
+/// One slot-preserving net mutation for RoutingProblem::with_pin_updates.
+/// `net < net_count()` replaces that slot's pins in place (empty `pins`
+/// removes the net: the slot stays, routes nothing, and every other net
+/// keeps its index); `net == kAppend` appends a new slot at the end. Slot
+/// preservation is what keeps the incremental-delta machinery
+/// (src/scenario) bit-identical to a from-scratch build: per-net
+/// sensitivities S_i are drawn index-stably, pairwise sensitivity is a
+/// pure function of (seed, i, j), and the Phase II annealing stream seeds
+/// key on net indices — shifting indices would perturb every unrelated
+/// net.
+struct PinUpdate {
+  static constexpr std::size_t kAppend = static_cast<std::size_t>(-1);
+  std::size_t net = kAppend;
+  std::vector<geom::PointF> pins;  ///< physical pin positions; [0] = source
+};
+
 class RoutingProblem {
  public:
   RoutingProblem(const netlist::Netlist& design, const grid::RegionGridSpec& gspec,
@@ -50,6 +66,15 @@ class RoutingProblem {
   /// construction (util/hash.h folds little-endian, so the value is
   /// platform-stable and safe to use in on-disk cache keys).
   std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// A copy of this problem with the given slot-preserving net mutations
+  /// applied (see PinUpdate). Per-net derived data (region pins, Le) is
+  /// recomputed through the constructor's own derivation for exactly the
+  /// touched slots; the sensitivity model is rebuilt at the new net count
+  /// (index-stable: existing S_i values are unchanged). The fingerprint is
+  /// recomputed, so caches and the persistent store key the mutated
+  /// problem as a distinct identity.
+  RoutingProblem with_pin_updates(const std::vector<PinUpdate>& updates) const;
 
  private:
   GsinoParams params_;

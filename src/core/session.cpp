@@ -60,13 +60,11 @@ BudgetRule budget_rule(FlowKind kind) {
   return BudgetRule::kManhattan;
 }
 
-namespace {
-
-/// Build the SINO instance for one (region, dir) from the occupancy.
-RegionSolution build_region(const RoutingProblem& problem,
-                            const router::Occupancy& occ, std::size_t region,
-                            grid::Dir dir, const std::vector<double>& kth,
-                            const PathIndex& paths) {
+RegionSolution build_region_solution(const RoutingProblem& problem,
+                                     const router::Occupancy& occ,
+                                     std::size_t region, grid::Dir dir,
+                                     const std::vector<double>& kth,
+                                     const PathIndex& paths) {
   RegionSolution sol;
   const auto& segs = occ.segments(region, dir);
   if (segs.empty()) return sol;
@@ -100,6 +98,7 @@ RegionSolution build_region(const RoutingProblem& problem,
   return sol;
 }
 
+namespace {
 
 // LRU bookkeeping over the per-stage cache vectors: recency order with the
 // back most recent. A hit rotates its entry to the back; an insert beyond
@@ -512,8 +511,8 @@ std::shared_ptr<const RegionSolveArtifact> FlowSession::solve_regions(
   auto solutions = std::make_shared<std::vector<RegionSolution>>(
       parallel::parallel_map<RegionSolution>(
           sol_count, kRegionGrain, p.params().threads, [&](std::size_t si) {
-            return build_region(p, *phase1->occupancy, sol_region(si),
-                                sol_dir(si), kth, paths);
+            return build_region_solution(p, *phase1->occupancy, sol_region(si),
+                                         sol_dir(si), kth, paths);
           }));
 
   std::vector<sino::SinoBatchItem> items(sol_count);

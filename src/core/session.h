@@ -57,6 +57,12 @@ namespace rlcr::obs {
 class MetricsSnapshot;
 }  // namespace rlcr::obs
 
+namespace rlcr::scenario {
+struct NetlistDelta;
+struct DeltaReport;
+class DeltaEngine;
+}  // namespace rlcr::scenario
+
 namespace rlcr::gsino {
 
 enum class FlowKind { kIdNo, kIsino, kGsino };
@@ -162,6 +168,20 @@ class PathIndex {
   }
   std::unordered_map<std::uint64_t, double> map_;
 };
+
+/// Build the SINO instance of one (region, dir) from an occupancy's
+/// segment list: member nets in segment order with their S_i / Kth, wire
+/// and critical-path lengths, and the pairwise sensitivity edges. This is
+/// the one construction path Phase II uses for every region
+/// (FlowSession::solve_regions), exposed so the incremental delta engine
+/// (src/scenario) rebuilds exactly the dirty regions through it — a
+/// rebuilt region is bit-identical to the same region in a from-scratch
+/// solve because both run this function on identical inputs.
+RegionSolution build_region_solution(const RoutingProblem& problem,
+                                     const router::Occupancy& occ,
+                                     std::size_t region, grid::Dir dir,
+                                     const std::vector<double>& kth,
+                                     const PathIndex& paths);
 
 /// Phase I output: the routed tree of every net plus the derived,
 /// flow-independent views (occupancy, segment congestion, critical paths).
@@ -423,6 +443,17 @@ struct StageCounters {
               route_spec_replayed = 0;
   std::size_t refine_spec_attempted = 0, refine_spec_committed = 0,
               refine_spec_replayed = 0;
+  /// Incremental-delta economics (FlowSession::apply_delta, src/scenario):
+  /// how many pool nets the delta sub-runs actually re-routed vs spliced
+  /// unchanged from the previous routing artifact, and how many
+  /// (region, dir) Phase II solves were recomputed vs carried over —
+  /// summed across every cached artifact each apply_delta() patched. The
+  /// reused counts are the compute avoided by incrementality; the patched
+  /// results are bit-identical to from-scratch runs, so the split is pure
+  /// economics, never behavior.
+  std::size_t delta_applies = 0;
+  std::size_t delta_nets_rerouted = 0, delta_nets_reused = 0;
+  std::size_t delta_regions_solved = 0, delta_regions_reused = 0;
 };
 
 /// What-if overrides for a re-entrant run: every field left unset falls
@@ -535,7 +566,27 @@ class FlowSession {
   /// Same, over an explicit solve artifact.
   FlowState state(const RegionSolveArtifact& solve) const;
 
+  // ---- incremental deltas ---------------------------------------------
+
+  /// Apply a slot-preserving netlist delta (add / remove / re-pin a set of
+  /// nets) to this session in place: the session's problem becomes the
+  /// mutated problem, every cached routing artifact is patched by
+  /// re-routing only the nets whose routes can change (the delta's nets
+  /// plus the bbox-connected closure of pool nets around them — everything
+  /// else is spliced from the old artifact), cached budget and Phase II
+  /// solve artifacts are patched downstream (solves recompute only dirty
+  /// (region, dir) instances), and refine artifacts are invalidated
+  /// (Phase III orders work by global worst-violator, which has no
+  /// regional patch). Every patched artifact is bit-identical to what a
+  /// from-scratch session over the mutated problem computes — the contract
+  /// tests/delta_differential_test.cpp pins — and is published to the
+  /// persistent store under the mutated problem's own keys, so delta
+  /// chains warm-start across processes. Implemented in
+  /// src/scenario/delta.cpp.
+  scenario::DeltaReport apply_delta(const scenario::NetlistDelta& delta);
+
  private:
+  friend class scenario::DeltaEngine;
   void emit(Stage stage, FlowKind flow, double seconds, bool reused) const;
   /// route -> budget -> solve_regions under scenario overrides (the shared
   /// front of run() and state()).
@@ -546,6 +597,17 @@ class FlowSession {
                       std::shared_ptr<const RefineArtifact> refined) const;
 
   const RoutingProblem* problem_;
+  /// Set by apply_delta(): the mutated problem the session now serves
+  /// (problem_ points here afterwards). Null until the first delta — the
+  /// constructor's problem stays caller-owned, as before.
+  std::shared_ptr<const RoutingProblem> owned_problem_;
+  /// Problems displaced by later deltas. Artifacts hold pointers into
+  /// their problem's grid (occupancy, congestion dimensions), and a caller
+  /// may still hold FlowResults assembled before a delta — retiring
+  /// instead of dropping keeps those views valid for the session's
+  /// lifetime. One entry per applied delta; problems are small next to
+  /// their artifacts.
+  std::vector<std::shared_ptr<const RoutingProblem>> retired_problems_;
   SessionOptions options_;
   StageCounters counters_;
 

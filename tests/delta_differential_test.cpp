@@ -1,0 +1,406 @@
+// Differential proof of the incremental netlist-delta engine
+// (src/scenario/delta.h): over seeded random delta chains, every
+// incremental state — FlowSession::apply_delta() patching cached
+// artifacts in place — is bit-identical (route hash + state fingerprint)
+// to a from-scratch session built on the mutated problem. The property
+// sweep then holds the same chain fixed while varying everything that
+// must not matter: thread count, serial vs speculative execution, with
+// vs without the persistent store, tiled vs dense region storage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "grid/tiled.h"
+#include "netlist/synthetic.h"
+#include "scenario/delta.h"
+#include "store/artifact_store.h"
+#include "util/rng.h"
+
+namespace rlcr::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- fixture
+
+struct Pipeline {
+  netlist::SyntheticSpec spec;
+  netlist::Netlist design;
+  gsino::GsinoParams params;
+
+  explicit Pipeline(std::size_t nets = 300, std::uint64_t seed = 12) {
+    spec = netlist::tiny_spec(nets, seed);
+    spec.grid_cols = 12;
+    spec.grid_rows = 12;
+    spec.chip_w_um = 600.0;
+    spec.chip_h_um = 600.0;
+    spec.h_capacity = 12;
+    spec.v_capacity = 12;
+    spec.local_sigma_regions = 2.0;
+    design = netlist::generate(spec);
+    params.sensitivity_rate = 0.5;
+  }
+
+  gsino::RoutingProblem problem() const {
+    return gsino::make_problem(design, spec, params);
+  }
+};
+
+/// One (route hash, state fingerprint) pair per chain step.
+struct StepState {
+  std::uint64_t route_hash = 0;
+  std::uint64_t fingerprint = 0;
+
+  bool operator==(const StepState& o) const {
+    return route_hash == o.route_hash && fingerprint == o.fingerprint;
+  }
+};
+
+StepState observe(const gsino::FlowResult& fr) {
+  return StepState{router::route_hash(fr.routing()),
+                   gsino::state_fingerprint(fr)};
+}
+
+/// Everything that must NOT change the chain's states.
+struct Config {
+  int threads = 1;
+  int speculate_batch = 1;  ///< 1 = exact serial path, >1 = speculative
+  bool with_store = false;
+  grid::RegionStorage storage = grid::RegionStorage::kTiled;
+};
+
+gsino::GsinoParams configured(gsino::GsinoParams params, const Config& cfg) {
+  params.threads = cfg.threads;
+  params.router.threads = cfg.threads;
+  params.router.speculate_batch = cfg.speculate_batch;
+  return params;
+}
+
+gsino::Scenario refine_scenario(const Config& cfg) {
+  gsino::Scenario scenario;
+  scenario.refine.threads = cfg.threads;
+  scenario.refine.speculate_batch = cfg.speculate_batch;
+  return scenario;
+}
+
+/// Pins the process-wide region-storage default for one scope.
+struct StorageGuard {
+  grid::RegionStorage saved;
+  explicit StorageGuard(grid::RegionStorage s)
+      : saved(grid::default_region_storage()) {
+    grid::set_default_region_storage(s);
+  }
+  ~StorageGuard() { grid::set_default_region_storage(saved); }
+};
+
+std::shared_ptr<store::ArtifactStore> make_store(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rlcr_delta" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return std::make_shared<store::ArtifactStore>(dir);
+}
+
+constexpr std::uint64_t kChainSeed = 0xD31;
+
+/// The incremental arm: one session, `steps` deltas applied in place,
+/// a GSINO run observed after the initial route and after every delta.
+/// The delta corpus is regenerated from (net count, chip outline, seed),
+/// so every arm sees the identical chain.
+std::vector<StepState> run_incremental(const Pipeline& pipe, const Config& cfg,
+                                       std::size_t steps, std::size_t changes,
+                                       const std::string& store_name,
+                                       gsino::StageCounters* counters = nullptr) {
+  const StorageGuard guard(cfg.storage);
+  const gsino::RoutingProblem p0 =
+      gsino::make_problem(pipe.design, pipe.spec, configured(pipe.params, cfg));
+  gsino::SessionOptions opts;
+  if (cfg.with_store) opts.store = make_store(store_name);
+  gsino::FlowSession session(p0, opts);
+  const gsino::Scenario scenario = refine_scenario(cfg);
+
+  std::vector<StepState> states;
+  states.push_back(observe(session.run(gsino::FlowKind::kGsino, scenario)));
+  for (std::size_t i = 0; i < steps; ++i) {
+    const NetlistDelta delta =
+        random_delta(session.problem(), kChainSeed + i, changes);
+    session.apply_delta(delta);
+    states.push_back(observe(session.run(gsino::FlowKind::kGsino, scenario)));
+  }
+  if (counters) *counters = session.counters();
+  return states;
+}
+
+/// The from-scratch arm: at every step, mutate the problem through the
+/// shared slot-preserving transform and run a brand-new session on it.
+std::vector<StepState> run_scratch(const Pipeline& pipe, const Config& cfg,
+                                   std::size_t steps, std::size_t changes) {
+  const StorageGuard guard(cfg.storage);
+  gsino::RoutingProblem p =
+      gsino::make_problem(pipe.design, pipe.spec, configured(pipe.params, cfg));
+  const gsino::Scenario scenario = refine_scenario(cfg);
+
+  std::vector<StepState> states;
+  {
+    gsino::FlowSession session(p);
+    states.push_back(observe(session.run(gsino::FlowKind::kGsino, scenario)));
+  }
+  for (std::size_t i = 0; i < steps; ++i) {
+    const NetlistDelta delta = random_delta(p, kChainSeed + i, changes);
+    p = apply_delta(p, delta);
+    gsino::FlowSession session(p);
+    states.push_back(observe(session.run(gsino::FlowKind::kGsino, scenario)));
+  }
+  return states;
+}
+
+// ------------------------------------------------- the headline contract
+
+// Incremental chain states match from-scratch runs bit for bit, at one
+// thread and at eight. The two thread counts also agree with each other
+// (the engine's sub-runs and region re-solves inherit the determinism
+// contract of the stages they patch).
+TEST(DeltaDifferential, ChainMatchesFromScratchAtOneAndEightThreads) {
+  const Pipeline pipe;
+  const std::size_t kSteps = 4, kChanges = 6;
+
+  Config serial1;  // threads=1, serial
+  gsino::StageCounters counters{};
+  const auto inc1 =
+      run_incremental(pipe, serial1, kSteps, kChanges, "t1", &counters);
+  const auto scratch1 = run_scratch(pipe, serial1, kSteps, kChanges);
+  ASSERT_EQ(inc1.size(), kSteps + 1);
+  for (std::size_t i = 0; i < inc1.size(); ++i) {
+    EXPECT_EQ(inc1[i].route_hash, scratch1[i].route_hash) << "step " << i;
+    EXPECT_EQ(inc1[i].fingerprint, scratch1[i].fingerprint) << "step " << i;
+  }
+
+  // The incremental arm really was incremental: route() executed exactly
+  // once (each delta patches through its own sub-run, counted as delta
+  // work), and the Phase II patch reused clean regions on every step.
+  // Net-level reuse is a property of the design, not the engine: this
+  // fixture's pool bbox graph is one connected component (300 local nets
+  // over 144 regions percolate), so every delta re-routes the whole pool
+  // — see ClusteredDesignReusesRoutes for the block-structured case where
+  // the splice pays off.
+  EXPECT_EQ(counters.delta_applies, kSteps);
+  EXPECT_EQ(counters.route_executed, 1u);
+  EXPECT_GT(counters.delta_nets_rerouted, 0u);
+  EXPECT_GT(counters.delta_regions_reused, 0u);
+
+  Config parallel8;
+  parallel8.threads = 8;
+  parallel8.speculate_batch = 8;
+  const auto inc8 = run_incremental(pipe, parallel8, kSteps, kChanges, "t8");
+  const auto scratch8 = run_scratch(pipe, parallel8, kSteps, kChanges);
+  for (std::size_t i = 0; i < inc8.size(); ++i) {
+    EXPECT_EQ(inc8[i].route_hash, scratch8[i].route_hash) << "step " << i;
+    EXPECT_EQ(inc8[i].fingerprint, scratch8[i].fingerprint) << "step " << i;
+    EXPECT_TRUE(inc8[i] == inc1[i]) << "thread-count divergence at " << i;
+  }
+}
+
+// The two delta application arms agree: mutating the netlist and building
+// a fresh problem yields the same fingerprint as the slot-preserving
+// problem transform — including appended slots, emptied slots, and the
+// rebuilt sensitivity model.
+TEST(DeltaDifferential, NetlistArmAndProblemArmAgree) {
+  const Pipeline pipe;
+  gsino::RoutingProblem p = pipe.problem();
+  netlist::Netlist design = pipe.design;
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const NetlistDelta delta = random_delta(p, 77 + i, 8);
+    p = apply_delta(p, delta);
+    apply_delta(design, delta);
+    const gsino::RoutingProblem rebuilt =
+        gsino::make_problem(design, pipe.spec, pipe.params);
+    ASSERT_EQ(rebuilt.fingerprint(), p.fingerprint()) << "chain step " << i;
+    ASSERT_EQ(rebuilt.net_count(), p.net_count());
+  }
+}
+
+// A post-delta run() executes no stage except Phase III: the patched
+// route/budget/solve artifacts are cache hits, refine recomputes (its
+// global worst-violator ordering has no regional patch).
+TEST(DeltaDifferential, PatchedArtifactsAreCacheHits) {
+  const Pipeline pipe;
+  const gsino::RoutingProblem p0 = pipe.problem();
+  gsino::FlowSession session(p0);
+  session.run(gsino::FlowKind::kGsino);
+  const gsino::StageCounters before = session.counters();
+
+  const DeltaReport report = session.apply_delta(random_delta(p0, 5, 4));
+  EXPECT_EQ(report.changed_nets, 4u);
+  EXPECT_EQ(report.routes_patched, 1u);
+  EXPECT_GT(report.nets_rerouted, 0u);
+  EXPECT_GT(report.regions_reused, 0u);
+  session.run(gsino::FlowKind::kGsino);
+
+  const gsino::StageCounters after = session.counters();
+  EXPECT_EQ(after.route_executed, before.route_executed);
+  EXPECT_EQ(after.budget_executed, before.budget_executed);
+  EXPECT_EQ(after.solve_executed, before.solve_executed);
+  EXPECT_EQ(after.refine_executed, before.refine_executed + 1);
+}
+
+// Removing a net and re-adding the identical pin set converges back to
+// the original problem fingerprint only when the slot itself is restored;
+// appended slots are new identities. What IS pinned: a delta that touches
+// nothing (empty change list) leaves every state untouched.
+TEST(DeltaDifferential, EmptyDeltaIsIdentity) {
+  const Pipeline pipe(200);
+  const gsino::RoutingProblem p0 = pipe.problem();
+  gsino::FlowSession session(p0);
+  const StepState before = observe(session.run(gsino::FlowKind::kGsino));
+
+  const DeltaReport report = session.apply_delta(NetlistDelta{});
+  EXPECT_EQ(report.changed_nets, 0u);
+  EXPECT_EQ(report.nets_rerouted, 0u);
+  EXPECT_EQ(report.problem->fingerprint(), p0.fingerprint());
+
+  const StepState after = observe(session.run(gsino::FlowKind::kGsino));
+  EXPECT_TRUE(before == after);
+}
+
+// A block-structured design — nine 3x3-region clusters separated by an
+// empty region row/column — keeps the pool's bbox components cluster-
+// local, so a clustered ECO re-routes one component and splices every
+// other cluster's routes from the old artifact. Percolated designs (see
+// the chain test) degrade gracefully to a full re-route, still bit-
+// identical; this is the case incrementality was built for.
+TEST(DeltaDifferential, ClusteredDesignReusesRoutes) {
+  netlist::SyntheticSpec spec = netlist::tiny_spec(0, 5);
+  spec.grid_cols = 12;
+  spec.grid_rows = 12;
+  spec.chip_w_um = 600.0;
+  spec.chip_h_um = 600.0;
+  spec.h_capacity = 12;
+  spec.v_capacity = 12;
+
+  // Cluster (cx, cy) occupies region cols/rows [4*c, 4*c + 2] — 150 um
+  // windows with a 50 um (one region) gap between neighbors.
+  netlist::Netlist design;
+  util::Xoshiro256 rng(42);
+  constexpr double kWindow = 150.0, kPitch = 200.0;
+  for (int cy = 0; cy < 3; ++cy) {
+    for (int cx = 0; cx < 3; ++cx) {
+      for (int k = 0; k < 25; ++k) {
+        netlist::Net net;
+        net.name = "c" + std::to_string(cy * 3 + cx) + "_" + std::to_string(k);
+        const std::size_t pins = 2 + static_cast<std::size_t>(k % 3);
+        for (std::size_t j = 0; j < pins; ++j) {
+          net.pins.push_back(netlist::Pin{
+              geom::PointF{cx * kPitch + rng.uniform(0.0, kWindow),
+                           cy * kPitch + rng.uniform(0.0, kWindow)},
+              netlist::kNoCell});
+        }
+        design.add_net(std::move(net));
+      }
+    }
+  }
+
+  gsino::GsinoParams params;
+  params.sensitivity_rate = 0.5;
+  const gsino::RoutingProblem p0 = gsino::make_problem(design, spec, params);
+
+  // A hand-built ECO confined to cluster 0's window: re-pin two of its
+  // nets, drop one, add one.
+  NetlistDelta delta;
+  auto window_pins = [&rng](std::size_t n) {
+    std::vector<geom::PointF> pins;
+    for (std::size_t j = 0; j < n; ++j) {
+      pins.push_back(
+          geom::PointF{rng.uniform(0.0, kWindow), rng.uniform(0.0, kWindow)});
+    }
+    return pins;
+  };
+  delta.changes.push_back({NetChange::Kind::kRepin, 3, window_pins(3), ""});
+  delta.changes.push_back({NetChange::Kind::kRepin, 7, window_pins(2), ""});
+  delta.changes.push_back({NetChange::Kind::kRemove, 11, {}, ""});
+  delta.changes.push_back({NetChange::Kind::kAdd, 0, window_pins(4), "eco"});
+
+  gsino::FlowSession session(p0);
+  const StepState initial = observe(session.run(gsino::FlowKind::kGsino));
+  const DeltaReport report = session.apply_delta(delta);
+
+  // The other eight clusters' pool nets spliced; only cluster 0's
+  // component re-routed.
+  EXPECT_GT(report.nets_reused, 100u);
+  EXPECT_GT(report.nets_rerouted, 0u);
+  EXPECT_LT(report.nets_rerouted, 50u);
+  EXPECT_GT(report.regions_reused, 0u);
+
+  const StepState inc = observe(session.run(gsino::FlowKind::kGsino));
+  EXPECT_FALSE(inc == initial);  // the ECO really moved the state
+
+  const gsino::RoutingProblem p1 = apply_delta(p0, delta);
+  gsino::FlowSession scratch(p1);
+  const StepState want = observe(scratch.run(gsino::FlowKind::kGsino));
+  EXPECT_EQ(inc.route_hash, want.route_hash);
+  EXPECT_EQ(inc.fingerprint, want.fingerprint);
+}
+
+// ------------------------------------------ property sweep (satellite a)
+
+// The same chain converges to the same per-step states under every
+// environment the determinism contract covers: with and without the
+// persistent store, serial and speculative, tiled and dense region
+// storage. The baseline is the serial/no-store/tiled incremental arm.
+TEST(DeltaDifferential, PropertySweepConvergesAcrossEnvironments) {
+  const Pipeline pipe(250, 21);
+  const std::size_t kSteps = 2, kChanges = 5;
+
+  const Config baseline;
+  const auto want =
+      run_incremental(pipe, baseline, kSteps, kChanges, "base");
+
+  struct Variant {
+    const char* name;
+    Config cfg;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v{"store", {}};
+    v.cfg.with_store = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"speculative", {}};
+    v.cfg.threads = 4;
+    v.cfg.speculate_batch = 8;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"dense", {}};
+    v.cfg.storage = grid::RegionStorage::kDense;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"dense+store+speculative", {}};
+    v.cfg.with_store = true;
+    v.cfg.threads = 4;
+    v.cfg.speculate_batch = 8;
+    v.cfg.storage = grid::RegionStorage::kDense;
+    variants.push_back(v);
+  }
+
+  for (const Variant& v : variants) {
+    const auto got = run_incremental(pipe, v.cfg, kSteps, kChanges,
+                                     std::string("sweep_") + v.name);
+    ASSERT_EQ(got.size(), want.size()) << v.name;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].route_hash, want[i].route_hash)
+          << v.name << " step " << i;
+      EXPECT_EQ(got[i].fingerprint, want[i].fingerprint)
+          << v.name << " step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlcr::scenario

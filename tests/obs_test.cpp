@@ -271,6 +271,11 @@ TEST(Metrics, EveryStatsFieldAppearsInTheRegistryExactlyOnce) {
   c.refine_spec_attempted = v++;
   c.refine_spec_committed = v++;
   c.refine_spec_replayed = v++;
+  c.delta_applies = v++;
+  c.delta_nets_rerouted = v++;
+  c.delta_nets_reused = v++;
+  c.delta_regions_solved = v++;
+  c.delta_regions_reused = v++;
 
   router::RoutingStats r;
   r.edges_initial = v++;
@@ -320,24 +325,26 @@ TEST(Metrics, EveryStatsFieldAppearsInTheRegistryExactlyOnce) {
   obs::append_metrics(snap, st);
   obs::append_metrics(snap, sp);
 
-  // 18 + 10 + 11 + 9 + 3 fields across the five structs.
-  EXPECT_EQ(snap.metrics().size(), 51u);
+  // 23 + 10 + 11 + 9 + 3 fields across the five structs.
+  EXPECT_EQ(snap.metrics().size(), 56u);
 
   const std::vector<std::pair<std::string, double>> expected = {
       {"session.route_requests", 1},
       {"session.refine_loaded", 12},
       {"session.refine_spec_replayed", 18},
-      {"router.edges_initial", 19},
-      {"router.rsmt_fallback_nets", 24},
-      {"router.spec_replayed", 27},
+      {"session.delta_applies", 19},
+      {"session.delta_regions_reused", 23},
+      {"router.edges_initial", 24},
+      {"router.rsmt_fallback_nets", 29},
+      {"router.spec_replayed", 32},
       {"router.runtime_s", 0.25},
-      {"refine.pass1_nets_fixed", 28},
-      {"refine.spec_replayed", 38},
-      {"store.hits", 39},
-      {"store.lock_waits", 45},
-      {"store.bytes_read", 47},
-      {"spec.attempted", 48},
-      {"spec.replayed", 50},
+      {"refine.pass1_nets_fixed", 33},
+      {"refine.spec_replayed", 43},
+      {"store.hits", 44},
+      {"store.lock_waits", 50},
+      {"store.bytes_read", 52},
+      {"spec.attempted", 53},
+      {"spec.replayed", 55},
   };
   for (const auto& [name, want] : expected) {
     EXPECT_TRUE(snap.has(name)) << name;

@@ -45,7 +45,7 @@ REQUIRED_SPANS = [
 ]
 
 REQUIRED_METRICS = [
-    # session.* — StageCounters (18)
+    # session.* — StageCounters (23)
     "session.route_requests", "session.route_executed",
     "session.route_loaded", "session.budget_requests",
     "session.budget_executed", "session.budget_loaded",
@@ -55,6 +55,9 @@ REQUIRED_METRICS = [
     "session.route_spec_attempted", "session.route_spec_committed",
     "session.route_spec_replayed", "session.refine_spec_attempted",
     "session.refine_spec_committed", "session.refine_spec_replayed",
+    "session.delta_applies", "session.delta_nets_rerouted",
+    "session.delta_nets_reused", "session.delta_regions_solved",
+    "session.delta_regions_reused",
     # router.* — RoutingStats (10)
     "router.edges_initial", "router.edges_deleted", "router.edges_locked",
     "router.reinserts", "router.prerouted_nets", "router.rsmt_fallback_nets",
